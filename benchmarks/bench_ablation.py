@@ -1,0 +1,24 @@
+"""§V-C ablation — contribution of each Harmony technique."""
+
+from repro.experiments import ablation
+
+
+def test_ablation_technique_contributions(once):
+    result = once(ablation.run, scale=1.0)
+    print()
+    print(ablation.report(result))
+
+    fractions = [result.benefit_fraction(stage)
+                 for _, stage in result.stages]
+    # Full Harmony defines 100% of the benefit.
+    assert fractions[-1] == 1.0
+    # Stages are monotone: each technique adds (or at least keeps) the
+    # benefit (paper: 32% -> 81% -> 100%).
+    assert fractions[0] <= fractions[1] + 0.05
+    assert fractions[1] <= fractions[2]
+    # Subtask multiplexing alone already yields a real fraction.
+    assert fractions[0] > 0.15
+    # Without any spilling, co-location is memory-blocked: the sanity
+    # stage collapses toward the isolated baseline.
+    sanity = result.isolated.makespan / result.no_spill_harmony.makespan
+    assert sanity < 1.15

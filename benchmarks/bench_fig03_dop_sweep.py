@@ -1,0 +1,22 @@
+"""Fig. 3 — one job swept over 4/8/16/32 machines."""
+
+from repro.experiments import fig03_dop_sweep
+
+
+def test_fig03_dop_sweep(once):
+    result = once(fig03_dop_sweep.run)
+    print()
+    print(fig03_dop_sweep.report(result))
+    rows = result.rows
+    # CPU utilization falls monotonically with the DoP (Fig. 3a).
+    cpu = [row.cpu_utilization for row in rows]
+    assert cpu == sorted(cpu, reverse=True)
+    # Network share rises.
+    net = [row.net_utilization for row in rows]
+    assert net == sorted(net)
+    # COMP halves with each doubling (Eq. 2); COMM stays flat (Fig. 3b).
+    for previous, current in zip(rows, rows[1:]):
+        assert current.t_comp < previous.t_comp
+        assert current.t_pull == previous.t_pull
+    # Iteration time improves with diminishing returns.
+    assert rows[-1].iteration_seconds < rows[0].iteration_seconds

@@ -1,0 +1,16 @@
+"""Fig. 4 — naive co-location fails; three jobs OOM on 16 machines."""
+
+from repro.experiments import fig04_naive_colocation
+
+
+def test_fig04_naive_colocation(once):
+    result = once(fig04_naive_colocation.run)
+    print()
+    print(fig04_naive_colocation.report(result))
+    # Pairs complete but still fail to saturate both resources.
+    for label in ("NMF+Lasso", "NMF+MLR"):
+        row = result.row(label)
+        assert not row.oom
+        assert row.cpu_utilization < 95.0
+    # "Co-locating all three jobs results in an out-of-memory error."
+    assert result.row("NMF+MLR+Lasso").oom

@@ -1,0 +1,20 @@
+"""Fig. 9 + Table I — evaluation-workload characteristics."""
+
+import numpy as np
+
+from repro.experiments import fig09_workload_cdf
+
+
+def test_fig09_workload_characteristics(once):
+    result = once(fig09_workload_cdf.run)
+    print()
+    print(fig09_workload_cdf.report(result))
+    assert len(result.jobs) == 80
+    # Fig. 9a: iteration times reach into the tens of minutes but stay
+    # under the paper's ~20-minute ceiling region.
+    assert 10.0 < result.iteration_minutes.max() < 25.0
+    assert result.iteration_minutes.min() < 1.0
+    # Fig. 9b: computation ratios cover most of (0, 1).
+    assert result.comp_ratios.min() < 0.35
+    assert result.comp_ratios.max() > 0.80
+    assert 0.4 < float(np.median(result.comp_ratios)) < 0.7

@@ -1,0 +1,26 @@
+"""Fig. 10 — the headline JCT / makespan comparison at paper scale."""
+
+from repro.experiments import fig10_main
+
+
+def test_fig10_main_comparison(once):
+    result = once(fig10_main.run, scale=1.0, n_naive_cases=3)
+    print()
+    print(fig10_main.report(result))
+
+    # Harmony wins makespan by a factor in the paper's neighbourhood
+    # (paper: 1.60x; shape target: decisively above both baselines).
+    assert result.harmony_makespan_speedup > 1.4
+    # Cluster utilization ratio tracks the paper's 1.65x.
+    assert result.utilization_ratio > 1.4
+    # Harmony's mean JCT is no worse than the isolated baseline's.
+    assert result.harmony_jct_speedup > 1.0
+    # Naive co-location is no silver bullet: its worst case loses to
+    # the isolated baseline (the paper's min error bar dips below 1).
+    assert min(result.naive_makespan_speedups) < 1.0
+    # And Harmony beats every naive case.
+    assert result.harmony_makespan_speedup > \
+        max(result.naive_makespan_speedups)
+    # All 80 jobs completed under every scheduler.
+    assert len(result.harmony.finished) == 80
+    assert len(result.isolated.finished) == 80

@@ -1,0 +1,28 @@
+"""Fig. 11 — cluster utilization timelines, Harmony vs isolated."""
+
+import numpy as np
+
+from repro.experiments import fig11_util_timeline
+
+
+def test_fig11_utilization_timeline(once):
+    result = once(fig11_util_timeline.run, scale=1.0)
+    print()
+    print(fig11_util_timeline.report(result))
+
+    harmony = result.harmony
+    isolated = result.isolated
+    # Harmony finishes all jobs well before the isolated baseline.
+    assert harmony.makespan < isolated.makespan
+    # Average CPU utilization is decisively higher (paper: 93% vs ~56%).
+    assert harmony.average_utilization("cpu") > \
+        isolated.average_utilization("cpu") + 0.15
+    # Harmony's mid-run utilization is high and sustained: the middle
+    # three fifths of its makespan average above 70% CPU.
+    timeline = result.timeline("harmony", "cpu").values
+    n = len(timeline)
+    middle = timeline[n // 5: 4 * n // 5]
+    assert float(np.mean(middle)) > 0.70
+    # Concurrency matches the paper's flavour (27.2 jobs / 6.7 groups).
+    assert harmony.mean_concurrent_jobs() > 15.0
+    assert harmony.mean_concurrent_groups() > 3.0

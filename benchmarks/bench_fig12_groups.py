@@ -1,0 +1,21 @@
+"""Fig. 12 — distributions of group DoP and jobs-per-group."""
+
+from repro.experiments import fig12_group_distributions
+
+
+def test_fig12_group_shape_distributions(once):
+    result = once(fig12_group_distributions.run, scale=1.0)
+    print()
+    print(fig12_group_distributions.report(result))
+
+    # "Harmony uses larger DoPs for the computation-intensive workload
+    # and smaller DoPs for communication-intensive workload."
+    assert result.comp_intensive.median_dop > \
+        result.comm_intensive.median_dop
+    # "The number of jobs in a group stay rather indifferent."
+    assert abs(result.comp_intensive.median_jobs
+               - result.comm_intensive.median_jobs) <= 2.0
+    # CDFs are well-formed.
+    dops, fractions = result.base.dop_cdf()
+    assert len(dops) > 0
+    assert fractions[-1] == 1.0

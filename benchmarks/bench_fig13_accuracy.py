@@ -1,0 +1,21 @@
+"""Fig. 13 — performance-model accuracy and error sensitivity."""
+
+from repro.experiments import fig13_model_accuracy
+
+
+def test_fig13_model_accuracy(once):
+    result = once(fig13_model_accuracy.run, scale=1.0,
+                  error_levels=(0.0, 0.05, 0.10, 0.20))
+    print()
+    print(fig13_model_accuracy.report(result))
+
+    # Fig. 13b: prediction errors of the group iteration time stay in
+    # the single digits on average (paper: below 5% at all times).
+    assert result.mean_t_group_error < 0.10
+    assert len(result.t_group_errors) > 10
+    # Fig. 13a: moderate injected error degrades the makespan side.
+    worst_makespan = min(r.normalized_makespan_speedup
+                         for r in result.sensitivity)
+    assert worst_makespan < 1.0
+    # The zero-error run is the baseline by construction.
+    assert result.sensitivity[0].normalized_jct_speedup == 1.0

@@ -1,0 +1,22 @@
+"""Fig. 14 — Harmony vs exhaustive-search oracle (scaled pool)."""
+
+from repro.experiments import fig14_oracle
+
+
+def test_fig14_oracle_comparison(once):
+    result = once(fig14_oracle.run, n_jobs=8, n_machines=24)
+    print()
+    print(fig14_oracle.report(result))
+
+    # Every job finishes under both schedulers.
+    assert len(result.harmony.finished) == 8
+    assert len(result.oracle.finished) == 8
+    # The greedy scheduler tracks the ground truth (paper: within ~2%;
+    # we allow a wider band at this tiny pool size, where single
+    # decisions weigh heavily).
+    assert result.jct_gap < 0.25
+    assert result.makespan_gap < 0.30
+    # And it decides much faster than the exhaustive search per
+    # decision (the wall-clock ratio grows without bound with pool
+    # size — see bench_scalability for the Bell-number blow-up).
+    assert result.harmony_wall_seconds < result.oracle_wall_seconds

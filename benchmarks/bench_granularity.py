@@ -1,0 +1,15 @@
+"""Granularity validation — one-pipeline abstraction vs Fig. 7 detail."""
+
+from repro.experiments import granularity_validation
+
+
+def test_group_abstraction_matches_per_worker_simulation(once):
+    result = once(granularity_validation.run)
+    print()
+    print(granularity_validation.report(result))
+    # The group-level abstraction tracks the full per-worker simulation
+    # within a few percent (DESIGN.md's modelling claim)...
+    assert result.worst_abstraction_error < 0.05
+    # ...and Eq. 1 predicts the pacing iteration within ~10% even for
+    # deliberately unbalanced (job-bound) groups.
+    assert result.worst_model_error < 0.12

@@ -1,0 +1,23 @@
+"""§V-F — scheduling-algorithm performance and scalability."""
+
+from repro.experiments import scalability
+
+
+def test_scheduler_scalability(once):
+    result = once(scalability.run,
+                  sizes=((80, 100), (1000, 2000), (8000, 10_000)),
+                  oracle_sizes=(4, 6, 8))
+    print()
+    print(scalability.report(result))
+
+    # "Harmony can schedule 8K jobs to 10K machines within 5 seconds."
+    assert result.harmony_rows[-1].n_jobs == 8000
+    assert result.largest_harmony_seconds < 5.0
+    # The 80-job decision is near-instant (paper: 1.2 s incl. their
+    # system overheads; the pure algorithm is far below that).
+    assert result.harmony_rows[0].seconds < 1.0
+    # The oracle's partition space explodes combinatorially (the
+    # paper's "about 10 hours" at 4K jobs).
+    searched = [row.partitions_searched for row in result.oracle_rows]
+    assert searched == sorted(searched)
+    assert searched[-1] > 50 * searched[0]

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Memory pressure and dynamic data reloading (§IV-C / §V-G).
+
+Co-locates eight jobs whose inputs exceed the machines' memory and
+sweeps the disk-block ratio alpha: too little spill melts the group in
+GC, too much stalls COMP subtasks on disk reads.  Harmony's per-job
+hill climbing finds the balance automatically.
+
+Run with::
+
+    python examples/memory_pressure.py
+"""
+
+from repro.experiments import reloading
+
+
+def main() -> None:
+    print("Sweeping fixed disk-block ratios on 8 co-located jobs / "
+          "32 machines...\n")
+    result = reloading.run(alphas=(0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9))
+
+    peak = max(seconds for _, seconds in result.fixed_rows)
+    for alpha, seconds in result.fixed_rows:
+        bar = "#" * int(40 * seconds / peak)
+        print(f"  alpha={alpha:.2f}  {seconds:7.1f} s  |{bar}")
+    print(f"  adaptive    {result.adaptive_iteration_seconds:7.1f} s  "
+          "<- Harmony's hill climbing")
+
+    best_alpha, best_seconds = result.best_fixed
+    mean_alpha, min_alpha, max_alpha = result.alpha_stats()
+    print(f"\nbest fixed ratio: alpha={best_alpha:.1f} "
+          f"({best_seconds:.1f} s per iteration)")
+    print(f"adaptive ratios per job: mean {mean_alpha:.2f}, "
+          f"min {min_alpha:.2f}, max {max_alpha:.2f}")
+    print("\nThe left side of the curve is the paper's 'GC explodes' "
+          "regime; the right side pays reload stalls — Harmony sits at "
+          "the balance point without an offline sweep (paper §V-G).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Train *real* models, co-located, through the actual PS runtime.
+
+Three genuinely different training jobs — multinomial logistic
+regression, Lasso, and NMF — run simultaneously on real threads.  Each
+worker iterates PULL -> COMP -> PUSH against its job's parameter-server
+shards while Harmony's subtask discipline serializes COMP subtasks on a
+shared CPU token and lets COMM subtasks overlap (§IV-A, for real).
+
+Run with::
+
+    python examples/train_colocated_models.py
+"""
+
+import numpy as np
+
+from repro.core.local_runtime import LocalHarmonyRuntime, LocalJob
+from repro.ml import LassoModel, MLRModel, NMFModel
+from repro.ml.datasets import (
+    make_classification,
+    make_ratings,
+    make_regression,
+    partition_rows,
+)
+
+
+def build_jobs() -> list[LocalJob]:
+    jobs = []
+
+    # Job 1: 4-class logistic regression, 2 workers.
+    features, labels, _ = make_classification(600, 20, 4, seed=1)
+    parts = partition_rows(len(labels), 2)
+    jobs.append(LocalJob(
+        "mlr", MLRModel(20, 4),
+        [{"X": features[p], "y": labels[p]} for p in parts],
+        max_epochs=25, learning_rate=0.5))
+
+    # Job 2: sparse regression, 2 workers.
+    features, targets, _ = make_regression(500, 60, sparsity=0.8,
+                                           seed=2)
+    parts = partition_rows(len(targets), 2)
+    jobs.append(LocalJob(
+        "lasso", LassoModel(60, l1=0.02),
+        [{"X": features[p], "y": targets[p]} for p in parts],
+        max_epochs=25, learning_rate=0.3))
+
+    # Job 3: ratings factorization, 2 workers (nnz split).
+    coords, values = make_ratings(80, 60, rank=6, density=0.15, seed=3)
+    halves = np.array_split(np.arange(len(values)), 2)
+    rng = np.random.default_rng(4)
+    jobs.append(LocalJob(
+        "nmf", NMFModel(80, 60, rank=6),
+        [{"coords": coords[h], "values": values[h],
+          "W": rng.uniform(0.1, 0.5, size=(80, 6))} for h in halves],
+        max_epochs=25, learning_rate=0.4))
+    return jobs
+
+
+def main() -> None:
+    runtime = LocalHarmonyRuntime(build_jobs(), barrier_timeout=60)
+    print("Training MLR + Lasso + NMF co-located "
+          "(one COMP at a time, overlapping COMM)...")
+    results = runtime.run()
+
+    for job_id, result in sorted(results.items()):
+        losses = result.losses
+        print(f"\n{job_id}: {result.epochs} epochs, "
+              f"{result.bytes_moved / 1024:.0f} KiB over the PS wire")
+        print(f"  objective: {losses[0]:.4f} -> {losses[-1]:.4f} "
+              f"({(1 - losses[-1] / losses[0]):.0%} reduction)")
+        metrics = runtime.profiler.get(job_id)
+        print(f"  profiled:  W_cpu={metrics.cpu_work * 1e3:.2f} ms, "
+              f"t_net={metrics.t_net * 1e3:.2f} ms over "
+              f"{metrics.samples} iterations")
+
+    print("\nThe profiled metrics above are exactly what Harmony's "
+          "scheduler consumes (T_cpu, T_net per job, §IV-B1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so the package installs on environments whose setuptools predates
+PEP 660 editable-wheel support (``pip install -e .`` falls back to
+``setup.py develop`` there).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

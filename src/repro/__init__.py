@@ -1,0 +1,60 @@
+"""Harmony: a scheduling framework for multiple distributed ML jobs.
+
+A from-scratch reproduction of the ICDCS 2021 paper.  The public API
+re-exports the pieces a downstream user actually composes:
+
+* workloads — :class:`~repro.workloads.apps.JobSpec`,
+  :class:`~repro.workloads.generator.WorkloadGenerator`;
+* the scheduler itself —
+  :class:`~repro.core.scheduler.HarmonyScheduler`;
+* end-to-end runtimes — :class:`~repro.core.runtime.HarmonyRuntime`
+  (simulated cluster) and
+  :class:`~repro.core.local_runtime.LocalHarmonyRuntime` (real
+  threads, real models, real parameter servers);
+* the baselines of the paper's evaluation.
+
+See README.md for a tour and ``python -m repro --list`` for the
+experiment drivers.
+"""
+
+from repro.config import MachineSpec, SchedulerConfig, SimConfig
+from repro.core import (
+    HarmonyRuntime,
+    HarmonyScheduler,
+    JobMetrics,
+    PerfModel,
+    Profiler,
+    RunResult,
+)
+from repro.core.local_runtime import LocalHarmonyRuntime, LocalJob
+from repro.baselines import IsolatedRuntime, NaiveRuntime, OracleScheduler
+from repro.workloads import (
+    CostModel,
+    JobSpec,
+    WorkloadGenerator,
+    make_base_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "HarmonyRuntime",
+    "HarmonyScheduler",
+    "IsolatedRuntime",
+    "JobMetrics",
+    "JobSpec",
+    "LocalHarmonyRuntime",
+    "LocalJob",
+    "MachineSpec",
+    "NaiveRuntime",
+    "OracleScheduler",
+    "PerfModel",
+    "Profiler",
+    "RunResult",
+    "SchedulerConfig",
+    "SimConfig",
+    "WorkloadGenerator",
+    "make_base_workload",
+    "__version__",
+]

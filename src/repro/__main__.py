@@ -1,0 +1,95 @@
+"""Command-line entry point: run any paper experiment by name.
+
+Usage::
+
+    python -m repro --list
+    python -m repro fig10_main
+    python -m repro fig10_main --scale 0.25 --seed 7
+    python -m repro all --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro import experiments
+
+#: Driver name -> module; kept explicit so --list output is curated.
+DRIVERS = {
+    "fig02_single_job": experiments.fig02_single_job,
+    "fig03_dop_sweep": experiments.fig03_dop_sweep,
+    "fig04_naive_colocation": experiments.fig04_naive_colocation,
+    "fig09_workload_cdf": experiments.fig09_workload_cdf,
+    "fig10_main": experiments.fig10_main,
+    "fig11_util_timeline": experiments.fig11_util_timeline,
+    "fig12_group_distributions": experiments.fig12_group_distributions,
+    "fig13_model_accuracy": experiments.fig13_model_accuracy,
+    "fig14_oracle": experiments.fig14_oracle,
+    "ablation": experiments.ablation,
+    "sensitivity_ratio": experiments.sensitivity_ratio,
+    "sensitivity_arrival": experiments.sensitivity_arrival,
+    "scalability": experiments.scalability,
+    "reloading": experiments.reloading,
+    "local_validation": experiments.local_validation,
+    "granularity_validation": experiments.granularity_validation,
+    "extensions": experiments.extensions,
+    "design_ablations": experiments.design_ablations,
+}
+
+
+def _run_driver(name: str, scale: float | None, seed: int | None) -> None:
+    module = DRIVERS[name]
+    kwargs = {}
+    signature = inspect.signature(module.run)
+    if scale is not None and "scale" in signature.parameters:
+        kwargs["scale"] = scale
+    if seed is not None and "seed" in signature.parameters:
+        kwargs["seed"] = seed
+    started = time.perf_counter()
+    result = module.run(**kwargs)
+    elapsed = time.perf_counter() - started
+    print(module.report(result))
+    print(f"[{name} completed in {elapsed:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the Harmony reproduction's experiments.")
+    parser.add_argument("driver", nargs="?",
+                        help="experiment name, or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload/cluster scale in (0, 1] "
+                             "(1.0 = the paper's 80 jobs/100 machines)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload/simulation seed")
+    args = parser.parse_args(argv)
+
+    if args.list or args.driver is None:
+        print("available experiments:")
+        for name, module in DRIVERS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:26s} {summary}")
+        return 0
+
+    if args.driver == "all":
+        for name in DRIVERS:
+            print(f"\n=== {name} ===")
+            _run_driver(name, args.scale, args.seed)
+        return 0
+
+    if args.driver not in DRIVERS:
+        print(f"unknown experiment {args.driver!r}; "
+              "use --list to see the options", file=sys.stderr)
+        return 2
+    _run_driver(args.driver, args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Baseline schedulers the paper compares against (§V-A).
+
+* :mod:`repro.baselines.isolated` — dedicated, disjoint allocations per
+  job (Optimus / SLAQ style).
+* :mod:`repro.baselines.naive` — uncoordinated co-location without a
+  performance model (Gandiva style).
+* :mod:`repro.baselines.oracle` — exhaustive-search scheduling used as
+  the ground truth in §V-F (Fig. 14).
+"""
+
+from repro.baselines.base import BaselineRuntime
+from repro.baselines.isolated import IsolatedRuntime
+from repro.baselines.naive import NaiveRuntime
+from repro.baselines.oracle import OracleScheduler
+
+__all__ = [
+    "BaselineRuntime",
+    "IsolatedRuntime",
+    "NaiveRuntime",
+    "OracleScheduler",
+]

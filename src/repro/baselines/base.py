@@ -1,0 +1,286 @@
+"""Shared queue-driven runtime for the baseline schedulers.
+
+Both baselines admit jobs from a FIFO queue (with backfill — a job
+whose machine demand does not fit is skipped in favour of later jobs
+that do, standard in cluster managers) and run them on dedicated
+machine sets until completion.  What differs is the co-location degree
+and the execution discipline (:class:`~repro.core.group_runtime.ExecutionMode`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.config import DEFAULT_SIM_CONFIG, SimConfig
+from repro.core.group_runtime import ExecutionMode, GroupRuntime
+from repro.core.job import Job, JobState
+from repro.core.runtime import JobOutcome, RunResult
+from repro.errors import SchedulingError, SimulationError
+from repro.metrics.utilization import ClusterUsageRecorder
+from repro.sim import RandomStreams, Simulator
+from repro.workloads.apps import JobSpec
+from repro.workloads.costmodel import CostModel
+
+#: No job is given more machines than this, mirroring the largest DoP
+#: the paper's evaluation exercises (Fig. 3 stops at 32).
+MAX_DOP = 32
+
+
+class BaselineMaster:
+    """FIFO + backfill admission onto dedicated machine groups."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 cost_model: CostModel, config: SimConfig,
+                 streams: RandomStreams, recorder: ClusterUsageRecorder,
+                 mode: ExecutionMode, group_size: int = 1,
+                 shuffle_seed: Optional[int] = None,
+                 dop_scale: float = 1.0,
+                 backfill: bool = True,
+                 colocate_only_if_fits: bool = False):
+        if group_size < 1:
+            raise SchedulingError(f"group_size must be >= 1, "
+                                  f"got {group_size}")
+        self.sim = sim
+        self.cluster = cluster
+        self.cost_model = cost_model
+        self.config = config
+        self.streams = streams
+        self.recorder = recorder
+        self.mode = mode
+        self.group_size = group_size
+        self.dop_scale = dop_scale
+        self.backfill = backfill
+        #: When set, a batch is only co-located if its no-spill memory
+        #: floor does not dominate its balanced allocation (used by the
+        #: §V-C ablation's "subtasks only" stage, where co-location is
+        #: available but data spilling is not).
+        self.colocate_only_if_fits = colocate_only_if_fits
+        self.jobs: dict[str, Job] = {}
+        self.groups: dict[str, GroupRuntime] = {}
+        self.finished_cycles: list = []
+        self._queue: list[str] = []
+        self._group_ids = itertools.count()
+        self._shuffle_rng = None
+        if shuffle_seed is not None:
+            import numpy as np
+            self._shuffle_rng = np.random.default_rng(shuffle_seed)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        if spec.job_id in self.jobs:
+            raise SchedulingError(f"duplicate job id {spec.job_id}")
+        job = Job(spec)
+        self.jobs[spec.job_id] = job
+        self._queue.append(spec.job_id)
+        if self._shuffle_rng is not None:
+            # The naive baseline's grouping is arbitrary; a shuffled
+            # queue samples one of the "all possible cases" of §V-A.
+            order = self._shuffle_rng.permutation(len(self._queue))
+            self._queue = [self._queue[i] for i in order]
+        self._pump()
+        return job
+
+    @property
+    def all_done(self) -> bool:
+        return all(job.is_done for job in self.jobs.values())
+
+    # -- policies ---------------------------------------------------------------
+
+    def machines_for(self, specs: Sequence[JobSpec]) -> int:
+        """Dedicated machine count for a (possibly co-located) job set.
+
+        Balances computation against communication per job — "we try to
+        maximize the CPU utilization rates ... by reducing the network
+        overheads that occur with lower DoP" (§V-A) — while honouring
+        the no-spill memory floor.
+        """
+        floor = self._memory_floor(specs)
+        total_work = sum(spec.cpu_work_machine_seconds for spec in specs)
+        total_comm = sum(self.cost_model.profile(spec, 1).t_comm
+                         for spec in specs)
+        # Aggregate balance point: enough machines that the group's
+        # total COMP matches its total COMM demand.
+        balanced = total_work / max(total_comm, 1e-9)
+        wanted = int(round(balanced * self.dop_scale))
+        cap = min(MAX_DOP * len(specs), self.cluster.size)
+        return max(floor, min(cap, wanted), 1)
+
+    def _memory_dominated(self, specs: Sequence[JobSpec],
+                          wanted: int) -> bool:
+        """Whether a batch's allocation is driven by its memory floor
+        rather than by compute/communication balance."""
+        total_work = sum(spec.cpu_work_machine_seconds for spec in specs)
+        total_comm = sum(self.cost_model.profile(spec, 1).t_comm
+                         for spec in specs)
+        balanced = total_work / max(total_comm, 1e-9) * self.dop_scale
+        return wanted > max(1.0, balanced) * 1.5
+
+    def _memory_floor(self, specs: Sequence[JobSpec]) -> int:
+        """Smallest DoP at which the jobs fit.
+
+        Baseline modes do not spill (alpha = 0); when a spill ratio is
+        forced through the config (the ablation's static-spill stages),
+        the floor honours it.
+        """
+        alpha = 0.0
+        if self.mode.spill_enabled and self.config.memory.spill_enabled:
+            fixed = self.config.memory.fixed_alpha
+            alpha = 1.0 if fixed is None else fixed
+        budget = (self.cost_model.spec.usable_memory_bytes
+                  * self.config.memory.target_pressure)
+        for m in range(1, self.cluster.size + 1):
+            need = sum(self.cost_model.resident_bytes(spec, m,
+                                                      alpha=alpha)
+                       for spec in specs)
+            if need <= budget:
+                return m
+        return self.cluster.size + 1  # cannot co-locate this batch
+
+    # -- admission --------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Admit queued jobs while machines allow (FIFO + backfill)."""
+        progress = True
+        while progress:
+            progress = False
+            index = 0
+            while index < len(self._queue):
+                started = False
+                # A batch whose memory floor exceeds the cluster (model
+                # caches stack per machine) shrinks until it fits.
+                for size in range(self.group_size, 0, -1):
+                    batch_ids = self._queue[index:index + size]
+                    batch = [self.jobs[jid] for jid in batch_ids]
+                    specs = [j.spec for j in batch]
+                    wanted = self.machines_for(specs)
+                    if wanted > self.cluster.size:
+                        continue
+                    if (self.colocate_only_if_fits and size > 1
+                            and self._memory_dominated(specs, wanted)):
+                        continue  # co-location would be memory-driven
+                    if wanted <= self.cluster.n_free:
+                        del self._queue[index:index + size]
+                        self._start(batch, wanted)
+                        progress = True
+                        started = True
+                    break
+                if not started:
+                    if not self.backfill:
+                        return  # strict FIFO: head-of-line blocks
+                    # Backfill: try a later batch.
+                    index += self.group_size
+
+    def _start(self, batch: Sequence[Job], n_machines: int) -> None:
+        group_id = f"b{next(self._group_ids)}"
+        machine_ids = self.cluster.allocate(n_machines, group_id)
+        group = GroupRuntime(self.sim, group_id, machine_ids, self.mode,
+                             self.cost_model, self.config, self.streams,
+                             hooks=self)
+        self.groups[group_id] = group
+        self.recorder.group_started(group_id, n_machines, self.sim.now,
+                                    group.cpu, group.net)
+        for job in batch:
+            job.state = JobState.RUNNING  # baselines have no profiling
+            if not group.add_job(job):
+                # No spill support: the job physically does not fit.
+                job.state = JobState.FAILED
+                job.finish_time = self.sim.now
+
+    # -- GroupHooks ----------------------------------------------------------------
+
+    def on_iteration(self, job: Job, group: GroupRuntime) -> None:
+        pass  # baselines do not profile
+
+    def on_job_finished(self, job: Job, group: GroupRuntime) -> None:
+        job.transition(JobState.FINISHED)
+        job.finish_time = self.sim.now
+        self._teardown_if_idle(group)
+        self._pump()
+
+    def on_job_paused(self, job: Job, group: GroupRuntime) -> None:
+        raise SimulationError(
+            "baseline runtimes never pause jobs")  # pragma: no cover
+
+    def on_job_failed(self, job: Job, group: GroupRuntime,
+                      error: Exception) -> None:
+        job.transition(JobState.FAILED)
+        job.finish_time = self.sim.now
+        self._teardown_if_idle(group)
+        self._pump()
+
+    def _teardown_if_idle(self, group: GroupRuntime) -> None:
+        if group.is_idle and group.group_id in self.groups:
+            del self.groups[group.group_id]
+            group.stop()
+            self.finished_cycles.extend(group.cycles)
+            self.recorder.group_stopped(group.group_id, self.sim.now)
+            self.cluster.release_all(group.group_id)
+
+
+class BaselineRuntime:
+    """Drives one baseline end-to-end; mirrors
+    :class:`~repro.core.runtime.HarmonyRuntime`."""
+
+    def __init__(self, n_machines: int, workload: Sequence[JobSpec],
+                 mode: ExecutionMode, name: str,
+                 config: SimConfig = DEFAULT_SIM_CONFIG,
+                 group_size: int = 1,
+                 shuffle_seed: Optional[int] = None,
+                 dop_scale: float = 1.0,
+                 backfill: bool = True,
+                 colocate_only_if_fits: bool = False,
+                 cost_model: Optional[CostModel] = None):
+        self.config = config
+        self.sim = Simulator()
+        self.cluster = Cluster(n_machines, config.machine)
+        self.cost_model = cost_model if cost_model is not None \
+            else CostModel(config.machine)
+        self.streams = RandomStreams(config.seed)
+        self.recorder = ClusterUsageRecorder(
+            n_machines, bin_seconds=config.utilization_bin_seconds)
+        self.master = BaselineMaster(self.sim, self.cluster,
+                                     self.cost_model, config, self.streams,
+                                     self.recorder, mode=mode,
+                                     group_size=group_size,
+                                     shuffle_seed=shuffle_seed,
+                                     dop_scale=dop_scale,
+                                     backfill=backfill,
+                                     colocate_only_if_fits=(
+                                         colocate_only_if_fits))
+        self.workload = list(workload)
+        self.name = name
+
+    def run(self, max_sim_seconds: Optional[float] = None) -> RunResult:
+        wall_start = _time.perf_counter()
+        for spec in self.workload:
+            self.sim.call_at(spec.submit_time,
+                             lambda s=spec: self.master.submit(s))
+        self.sim.run(until=max_sim_seconds)
+        stuck = [job for job in self.master.jobs.values()
+                 if not job.is_done]
+        if stuck and max_sim_seconds is None:
+            raise SimulationError(
+                f"{self.name}: {len(stuck)} jobs never finished "
+                f"(first: {stuck[0].job_id} {stuck[0].state.value})")
+        all_cycles = list(self.master.finished_cycles)
+        for group in self.master.groups.values():
+            all_cycles.extend(group.cycles)
+        self.recorder.finish(self.sim.now)
+        outcomes = {
+            job.job_id: JobOutcome(job_id=job.job_id, state=job.state,
+                                   submit_time=job.submit_time,
+                                   finish_time=job.finish_time,
+                                   migrations=job.migrations)
+            for job in self.master.jobs.values()}
+        return RunResult(
+            scheduler_name=self.name,
+            total_machines=self.cluster.size,
+            outcomes=outcomes,
+            recorder=self.recorder,
+            _all_cycles=all_cycles,
+            alpha_samples=[],
+            wall_seconds=_time.perf_counter() - wall_start)

@@ -1,0 +1,52 @@
+"""All-reduce communication model (the paper's §VI extension).
+
+"Although Harmony focuses on the PS architecture in this paper, its
+scheduling approach can be easily applied to other communication
+architecture such as all-reduce, because Harmony does not care how
+exactly communication is done and only cares that there are distinct
+computation and communication steps."
+
+A ring all-reduce over ``m`` workers moves ``2 (m-1)/m`` times the
+model per NIC and has no pull/push asymmetry: one COMM subtask per
+iteration instead of two.  Unlike the PS architecture, its COMM time
+*does* depend (mildly) on the group size — which Harmony's profiling
+handles transparently because metrics are re-measured after every
+regrouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineSpec
+
+
+@dataclass(frozen=True)
+class AllReduceModel:
+    """Ring all-reduce timing for one synchronization step."""
+
+    spec: MachineSpec
+    #: Protocol efficiency, as in the PS network model.
+    efficiency: float = 0.85
+    #: Per-chunk latency overhead of each of the 2(m-1) ring steps.
+    step_latency_seconds: float = 0.005
+
+    @property
+    def effective_bps(self) -> float:
+        return self.spec.network_bps * self.efficiency
+
+    def sync_seconds(self, model_bytes: float, m: int) -> float:
+        """Duration of one all-reduce over ``m`` workers.
+
+        Ring all-reduce: every NIC sends and receives
+        ``2 (m-1)/m x model_bytes``, plus per-step latency.
+        """
+        if m < 1:
+            raise ValueError(f"need >= 1 worker, got {m}")
+        if model_bytes < 0:
+            raise ValueError(f"negative model size {model_bytes}")
+        if m == 1:
+            return 0.0  # purely local aggregation
+        volume = 2.0 * (m - 1) / m * model_bytes
+        return (volume / self.effective_bps
+                + 2.0 * (m - 1) * self.step_latency_seconds)

@@ -1,0 +1,110 @@
+"""Cluster inventory with an owner-tagged allocation ledger.
+
+The Harmony master, as well as the baseline schedulers, acquire machines
+through this ledger.  Allocations are tagged with an owner string (a job
+group id or a job id) so that double-allocation and foreign releases are
+detected immediately rather than corrupting an experiment silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cluster.machine import Machine
+from repro.config import MachineSpec
+from repro.errors import ClusterError
+
+
+class Cluster:
+    """A homogeneous pool of machines (the paper uses 100 m4.2xlarge)."""
+
+    def __init__(self, n_machines: int, spec: MachineSpec | None = None):
+        if n_machines <= 0:
+            raise ClusterError(f"cluster needs >= 1 machine, got {n_machines}")
+        self.spec = spec if spec is not None else MachineSpec()
+        self.machines = tuple(Machine(i, self.spec)
+                              for i in range(n_machines))
+        self._free: list[int] = list(range(n_machines))
+        self._owner_of: dict[int, str] = {}
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.machines)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_allocated(self) -> int:
+        return self.size - self.n_free
+
+    def owned_by(self, owner: str) -> tuple[int, ...]:
+        """Machine ids currently held by ``owner``."""
+        return tuple(sorted(mid for mid, who in self._owner_of.items()
+                            if who == owner))
+
+    def owner_of(self, machine_id: int) -> str | None:
+        """Current owner of a machine, or None when it is free."""
+        if not 0 <= machine_id < self.size:
+            raise ClusterError(f"unknown machine id {machine_id}")
+        return self._owner_of.get(machine_id)
+
+    def owners(self) -> dict[str, int]:
+        """Mapping of owner -> machine count."""
+        counts: dict[str, int] = {}
+        for who in self._owner_of.values():
+            counts[who] = counts.get(who, 0) + 1
+        return counts
+
+    # -- allocation ----------------------------------------------------
+
+    def allocate(self, n: int, owner: str) -> tuple[int, ...]:
+        """Take ``n`` free machines for ``owner``; returns their ids."""
+        if n <= 0:
+            raise ClusterError(f"allocation size must be positive, got {n}")
+        if n > self.n_free:
+            raise ClusterError(
+                f"owner {owner!r} requested {n} machines, only "
+                f"{self.n_free} free")
+        taken = [self._free.pop() for _ in range(n)]
+        for mid in taken:
+            self._owner_of[mid] = owner
+        return tuple(sorted(taken))
+
+    def release(self, machine_ids: Iterable[int], owner: str) -> None:
+        """Return machines to the free pool; ids must belong to ``owner``."""
+        ids = list(machine_ids)
+        for mid in ids:
+            actual = self._owner_of.get(mid)
+            if actual != owner:
+                raise ClusterError(
+                    f"machine {mid} is owned by {actual!r}, not {owner!r}")
+        for mid in ids:
+            del self._owner_of[mid]
+            self._free.append(mid)
+
+    def release_all(self, owner: str) -> int:
+        """Release every machine held by ``owner``; returns the count."""
+        ids = self.owned_by(owner)
+        if ids:
+            self.release(ids, owner)
+        return len(ids)
+
+    def reassign(self, machine_ids: Sequence[int], old_owner: str,
+                 new_owner: str) -> None:
+        """Move machines between owners without a release/allocate cycle
+        (used during regrouping so counts never transiently exceed the
+        cluster size)."""
+        for mid in machine_ids:
+            actual = self._owner_of.get(mid)
+            if actual != old_owner:
+                raise ClusterError(
+                    f"machine {mid} is owned by {actual!r}, not {old_owner!r}")
+        for mid in machine_ids:
+            self._owner_of[mid] = new_owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Cluster {self.n_allocated}/{self.size} allocated>"

@@ -1,0 +1,45 @@
+"""Disk bandwidth model for data spill/reload and checkpointing.
+
+Dynamic data reloading (§IV-C) streams the disk-side fraction of a job's
+input blocks back into memory while other jobs compute; checkpoint /
+restore during migration (§IV-B4) writes and reads the model.  Both are
+sequential-streaming workloads, so a simple bandwidth model suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineSpec
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Converts byte volumes into disk-read/write durations."""
+
+    spec: MachineSpec
+    #: Deserialization expands effective read time: blocks read back from
+    #: disk must be decoded before compute can touch them (§IV-C calls
+    #: this the reload overhead).
+    deserialization_overhead: float = 0.25
+
+    def read_seconds(self, n_bytes: float) -> float:
+        """Time for one machine to reload ``n_bytes`` from disk."""
+        if n_bytes < 0:
+            raise ValueError(f"negative read size {n_bytes}")
+        return (n_bytes / self.spec.disk_read_bps) * \
+            (1.0 + self.deserialization_overhead)
+
+    def write_seconds(self, n_bytes: float) -> float:
+        """Time for one machine to spill/checkpoint ``n_bytes`` to disk."""
+        if n_bytes < 0:
+            raise ValueError(f"negative write size {n_bytes}")
+        return n_bytes / self.spec.disk_write_bps
+
+    def checkpoint_seconds(self, model_bytes_per_machine: float) -> float:
+        """Checkpoint a job's model partition (pause path, §IV-B4)."""
+        return self.write_seconds(model_bytes_per_machine)
+
+    def restore_seconds(self, model_bytes_per_machine: float) -> float:
+        """Restore a checkpointed model partition (resume path)."""
+        return self.read_seconds(model_bytes_per_machine)

@@ -1,0 +1,53 @@
+"""Network transfer-time model.
+
+In the paper's deployment every machine hosts one worker and one server,
+and the model is partitioned evenly across the servers.  Each worker
+therefore pulls the whole model (gathered from all servers) and pushes a
+full gradient every iteration, moving ~``2 x traffic_fraction x model``
+bytes through each machine's NIC regardless of the group size — which is
+why the paper treats ``T_net`` as independent of the DoP (§IV-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineSpec
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Converts per-iteration communication volume into COMM durations."""
+
+    spec: MachineSpec
+    #: Protocol efficiency: achievable goodput as a fraction of line rate
+    #: (framing, RPC overheads, imperfect overlap inside a COMM subtask).
+    efficiency: float = 0.85
+    #: Extra time factor for (de)serialization that could not be moved
+    #: out of the COMM subtask (the paper minimizes but cannot null it).
+    serialization_overhead: float = 0.05
+
+    @property
+    def effective_bps(self) -> float:
+        return self.spec.network_bps * self.efficiency
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Time for one NIC to move ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError(f"negative transfer size {n_bytes}")
+        return (n_bytes / self.effective_bps) * \
+            (1.0 + self.serialization_overhead)
+
+    def pull_seconds(self, model_bytes: float,
+                     traffic_fraction: float = 1.0) -> float:
+        """Duration of a PULL subtask for a model of ``model_bytes``.
+
+        ``traffic_fraction`` scales for apps that only fetch the model
+        rows relevant to the local data partition (e.g. NMF factors).
+        """
+        return self.transfer_seconds(model_bytes * traffic_fraction)
+
+    def push_seconds(self, model_bytes: float,
+                     traffic_fraction: float = 1.0) -> float:
+        """Duration of a PUSH subtask (gradients are model-sized)."""
+        return self.transfer_seconds(model_bytes * traffic_fraction)

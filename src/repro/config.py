@@ -1,0 +1,185 @@
+"""Configuration dataclasses shared across the package.
+
+The defaults mirror the paper's evaluation setup (§V-B): m4.2xlarge
+instances (8 vCPUs, 32 GB memory, 1.1 Gbps network), synchronous PS
+training, and the scheduler constants quoted in §IV-B (5% thresholds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+#: Network bandwidth of an m4.2xlarge in bytes/second (1.1 Gbps).
+M4_2XLARGE_NET_BPS = 1.1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware description of one cluster machine.
+
+    Defaults describe the paper's m4.2xlarge EC2 instance.
+    """
+
+    cores: int = 8
+    memory_gb: float = 32.0
+    #: Fraction of physical memory usable by job data before the managed
+    #: runtime (JVM in the paper) hits GC trouble / OOM.
+    usable_memory_fraction: float = 0.80
+    network_bps: float = M4_2XLARGE_NET_BPS
+    disk_read_bps: float = 180.0 * MB
+    disk_write_bps: float = 150.0 * MB
+
+    @property
+    def usable_memory_gb(self) -> float:
+        return self.memory_gb * self.usable_memory_fraction
+
+    @property
+    def usable_memory_bytes(self) -> float:
+        return self.usable_memory_gb * GB
+
+
+@dataclass(frozen=True)
+class GCModel:
+    """Analytic garbage-collection overhead model.
+
+    COMP subtasks are inflated by ``1 + strength * ((rho - onset) /
+    (1 - onset))**2`` once the memory-pressure ratio ``rho`` (resident
+    bytes / usable bytes) exceeds ``onset``.  ``rho >= oom_ratio`` is an
+    out-of-memory failure.  This reproduces the qualitative behaviour the
+    paper attributes to the JVM: mild pressure is free, high pressure
+    melts throughput, and exceeding capacity kills the job (Fig. 4, §V-G).
+    """
+
+    onset: float = 0.72
+    strength: float = 2.0
+    oom_ratio: float = 1.0
+
+    def inflation(self, rho: float) -> float:
+        """Multiplicative COMP slowdown at memory-pressure ratio ``rho``."""
+        if rho <= self.onset:
+            return 1.0
+        over = (rho - self.onset) / max(1e-9, 1.0 - self.onset)
+        return 1.0 + self.strength * over * over
+
+    def is_oom(self, rho: float) -> bool:
+        return rho >= self.oom_ratio
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Constants of Harmony's scheduling algorithm (§IV-B)."""
+
+    #: Minimum relative improvement in cluster utilization before a
+    #: regrouping is applied ("Harmony does not perform regrouping when
+    #: the expected benefit is less than 5% of U").
+    regroup_benefit_threshold: float = 0.05
+    #: Two jobs are "similar" when iteration time and comp/comm ratio
+    #: differ by less than this fraction (§IV-B4).
+    similarity_threshold: float = 0.05
+    #: Prefer a decision with fewer regrouped jobs unless the larger
+    #: decision is better by more than this fraction.
+    fewer_jobs_preference: float = 0.05
+    #: Moving-average factor for profiled metrics (§IV-B1).
+    ema_alpha: float = 0.30
+    #: Iterations a new job runs in the profiling state before its
+    #: metrics are trusted.
+    profiling_iterations: int = 3
+    #: CPU utilization is weighted more than network utilization when
+    #: comparing candidate schedules ("CPU utilization rates are treated
+    #: more importantly", §IV-B2).
+    cpu_weight: float = 0.75
+    #: Hard cap on jobs per group (memory pressure / JCT preference).
+    max_jobs_per_group: int = 5
+    #: Maximum swap fine-tuning passes in the grouping algorithm.
+    max_swap_passes: int = 50
+    #: Consecutive non-improving prefix sizes tolerated before Algorithm
+    #: 1's L10-13 loop stops growing the job set.  The paper breaks on
+    #: the first non-improvement; a small patience makes the greedy loop
+    #: robust to bumps introduced by the discrete n_G* re-choice.
+    schedule_patience: int = 6
+    #: Order in which Algorithm 1's L4 loop grows the candidate job set
+    #: (the paper leaves J_to_sched's order unspecified):
+    #: "sjf" = shortest iteration first (front-loads completions),
+    #: "ljf" = longest first (starts the critical path early),
+    #: "interleave" = alternate longest/shortest,
+    #: "critical" = the top-decile longest jobs first (they set the
+    #: makespan's critical path), then shortest-first for the rest.
+    admission_order: str = "critical"
+    #: How often the master re-evaluates the whole grouping ("Harmony
+    #: constantly seeks for higher resource utilization U, and when it
+    #: detects a potential improvement, it dynamically updates the jobs,
+    #: job groups, and the allocated machines", §IV-B2).  A regrouping is
+    #: only applied when the predicted gain clears the 5% threshold.
+    reschedule_check_seconds: float = 1200.0
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Constants of the dynamic data reloading mechanism (§IV-C)."""
+
+    #: Master switch: disabling turns Harmony's data spill/reload off
+    #: entirely (the §V-C ablation's "without dynamic reloading" stage).
+    spill_enabled: bool = True
+    #: When set, every job keeps this fixed disk-block ratio instead of
+    #: hill-climbing (the §V-G fixed-alpha baseline).
+    fixed_alpha: "float | None" = None
+    #: Hill-climbing step applied to a job's disk-block ratio alpha.
+    alpha_step: float = 0.05
+    #: Iterations between two alpha adjustments of the same job.
+    adjust_every: int = 2
+    #: Target memory-pressure ratio used to pick the initial alpha.
+    target_pressure: float = 0.75
+    #: Dead-band: overheads within this fraction of each other are
+    #: considered balanced and alpha is left alone.
+    tolerance: float = 0.02
+    #: Fraction of an epoch's disk traffic that overlaps with other
+    #: jobs' subtasks for free (background reloading, §IV-C).
+    gc_model: GCModel = field(default_factory=GCModel)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Constants of the subtask execution engine (§IV-A)."""
+
+    #: Effective rate of a secondary COMM subtask relative to a primary
+    #: one (it only uses the primary's idle gaps).
+    secondary_comm_rate: float = 0.40
+    #: Coefficient of variation of subtask durations (measurement noise /
+    #: machine jitter); drives the profiler's moving averages and the
+    #: nonzero-but-small prediction error of Fig. 13b.
+    duration_jitter_cv: float = 0.02
+    #: Extra per-iteration synchronizer overhead as a fraction of the
+    #: iteration (cross-worker barrier latency + straggler effect).
+    barrier_overhead: float = 0.01
+    #: Multi-tenant interference (§VI future work): probability that a
+    #: COMM subtask is hit by a bursty-traffic spike from other
+    #: tenants, and the worst-case slowdown of such a spike.
+    comm_interference_probability: float = 0.0
+    comm_interference_max: float = 3.0
+    #: Iterations of progress lost when a machine failure forces a
+    #: restart from the last checkpoint ("checkpointing (per epoch) and
+    #: restart", §VI).
+    checkpoint_interval_iterations: int = 1
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level simulation configuration."""
+
+    seed: int = 2021
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Width of utilization-timeline bins, in seconds (the paper measures
+    #: with a 1-minute interval, §V-B).
+    utilization_bin_seconds: float = 60.0
+
+    def with_seed(self, seed: int) -> "SimConfig":
+        return replace(self, seed=seed)
+
+
+DEFAULT_SIM_CONFIG = SimConfig()

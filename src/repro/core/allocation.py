@@ -1,0 +1,82 @@
+"""Machine allocation to job groups (§IV-B3, L8 of Algorithm 1).
+
+"First, the algorithm allocates one machine for every job group.  The
+algorithm then repeats a step of allocating one machine to a group that
+needs additional machines the most.  Those groups that need machines
+are the most computation-intensive ones, as having more machines would
+reduce the computation cost in an iteration (Eq. 2), reducing the
+CPU-bound cases (Eq. 1)."
+
+Memory feasibility is honoured: a group's floor is the smallest machine
+count at which its jobs fit even with maximal input spill (the paper's
+model-spill fallback covers the rest, but a group that cannot hold its
+models has no valid placement).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional, Sequence
+
+from repro.core.profiler import JobMetrics
+from repro.errors import SchedulingError
+
+#: Returns the minimum machine count for a set of co-located jobs.
+MemoryFloorFn = Callable[[Sequence[str]], int]
+
+
+def allocate_machines(groups: Sequence[Sequence[JobMetrics]],
+                      total_machines: int,
+                      memory_floor: Optional[MemoryFloorFn] = None) -> \
+        Optional[list[int]]:
+    """Machine counts per group, or None when memory-infeasible.
+
+    Always hands a machine to the group whose CPU-side bottleneck
+    exceeds its network-side bottleneck by the most (the most
+    computation-intensive group); stops early when no group is
+    CPU-bound any more, leaving the remainder free for future arrivals.
+    """
+    if total_machines < 1:
+        raise SchedulingError(
+            f"total_machines must be >= 1, got {total_machines}")
+    if not groups:
+        return []
+
+    floors = []
+    for group in groups:
+        if not group:
+            raise SchedulingError("cannot allocate to an empty group")
+        job_ids = [job.job_id for job in group]
+        floors.append(memory_floor(job_ids) if memory_floor else 1)
+    if sum(floors) > total_machines:
+        return None  # not placeable even at the memory floors
+
+    allocation = list(floors)
+    spare = total_machines - sum(allocation)
+
+    cpu_work = [sum(job.cpu_work for job in group) for group in groups]
+    t_net = [sum(job.t_net for job in group) for group in groups]
+
+    def cpu_pressure(index: int) -> float:
+        """How CPU-bound group ``index`` is at its current allocation."""
+        return cpu_work[index] / allocation[index] - t_net[index]
+
+    # Lazy max-heap: pressures only change for the group that just
+    # received a machine, so stale entries are re-pushed rather than the
+    # whole heap rebuilt (keeps §V-F-scale allocation near-linear).
+    heap = [(-cpu_pressure(i), i) for i in range(len(groups))]
+    heapq.heapify(heap)
+    while spare > 0 and heap:
+        negative_pressure, index = heapq.heappop(heap)
+        current = cpu_pressure(index)
+        if current < -negative_pressure - 1e-12:
+            heapq.heappush(heap, (-current, index))  # stale, retry
+            continue
+        if current <= 0:
+            break  # every group is network- or job-bound: extra machines
+            # would not shorten any group iteration (Eq. 1)
+        allocation[index] += 1
+        spare -= 1
+        heapq.heappush(heap, (-cpu_pressure(index), index))
+
+    return allocation

@@ -1,0 +1,431 @@
+"""Simulated execution of one job group (§IV-A's execution model).
+
+A :class:`GroupRuntime` owns the shared resources of one set of
+machines and runs each co-located job as a simulated process cycling
+through PULL -> COMP -> PUSH subtasks (Fig. 1).  The resource policies
+implement the three execution disciplines compared in the paper:
+
+* ``HARMONY`` — coordinated subtasks: one COMP at a time on the CPU, a
+  primary plus reduced-rate secondary COMM on the network (Fig. 7),
+  and dynamic data reloading.
+* ``NAIVE`` — the Gandiva-style baseline: subtasks of co-located jobs
+  contend through processor sharing with an interference penalty, no
+  spill (Fig. 5a).
+* ``ISOLATED`` — a single job running alone on dedicated machines.
+
+The paper models a group's workers as advancing in lockstep (the
+SubTask Synchronizer barriers each step across workers), so the group
+is simulated as one symmetric pipeline whose CPU/NIC stand for every
+machine's; the barrier latency and straggler effects appear as the
+``barrier_overhead`` duration factor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.cluster.memory import MemoryLedger
+from repro.config import SimConfig
+from repro.core.job import Job
+from repro.core.memory_manager import GroupMemoryManager
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.sim import (
+    Event,
+    RandomStreams,
+    RateResource,
+    Simulator,
+    primary_secondary,
+    processor_sharing,
+    serial,
+)
+from repro.workloads.costmodel import CostModel
+
+
+class ExecutionMode(enum.Enum):
+    """Execution discipline of a group (see module docstring)."""
+
+    HARMONY = "harmony"
+    NAIVE = "naive"
+    ISOLATED = "isolated"
+
+    @property
+    def coordinated(self) -> bool:
+        return self is not ExecutionMode.NAIVE
+
+    @property
+    def spill_enabled(self) -> bool:
+        return self is ExecutionMode.HARMONY
+
+
+#: Interference penalty of uncoordinated sharing (naive baseline):
+#: effective throughput with k tasks is 1 / (1 + phi * (k - 1)).
+NAIVE_CPU_INTERFERENCE = 0.08
+NAIVE_NET_INTERFERENCE = 0.05
+
+
+class GroupHooks(Protocol):
+    """Callbacks a :class:`GroupRuntime` delivers to its master."""
+
+    def on_iteration(self, job: Job, group: "GroupRuntime") -> None: ...
+
+    def on_job_finished(self, job: Job, group: "GroupRuntime") -> None: ...
+
+    def on_job_paused(self, job: Job, group: "GroupRuntime") -> None: ...
+
+    def on_job_failed(self, job: Job, group: "GroupRuntime",
+                      error: Exception) -> None: ...
+
+
+@dataclass
+class CycleRecord:
+    """One completed job iteration inside a group."""
+
+    job_id: str
+    finished_at: float
+    duration: float
+    t_cpu_measured: float
+    t_net_measured: float
+    gc_overhead: float
+    stall: float
+    #: The job's disk-block ratio when the iteration ran (§V-G stats).
+    alpha: float = 0.0
+
+
+class GroupRuntime:
+    """Live execution state of one job group on a machine set."""
+
+    def __init__(self, sim: Simulator, group_id: str,
+                 machine_ids: tuple[int, ...], mode: ExecutionMode,
+                 cost_model: CostModel, config: SimConfig,
+                 streams: RandomStreams, hooks: GroupHooks):
+        if not machine_ids:
+            raise SimulationError(f"group {group_id} has no machines")
+        self.sim = sim
+        self.group_id = group_id
+        self.machine_ids = tuple(machine_ids)
+        self.mode = mode
+        self.cost_model = cost_model
+        self.config = config
+        self.streams = streams
+        self.hooks = hooks
+
+        execution = config.execution
+        if mode is ExecutionMode.NAIVE:
+            cpu_policy = processor_sharing(NAIVE_CPU_INTERFERENCE)
+            net_policy = processor_sharing(NAIVE_NET_INTERFERENCE)
+        else:
+            cpu_policy = serial()
+            net_policy = primary_secondary(execution.secondary_comm_rate)
+        self.cpu = RateResource(sim, cpu_policy, f"{group_id}:cpu")
+        self.net = RateResource(sim, net_policy, f"{group_id}:net")
+        # Disk: reloads/checkpoints of co-located jobs share bandwidth.
+        self.disk = RateResource(sim, processor_sharing(),
+                                 f"{group_id}:disk", record_segments=False)
+
+        self.ledger = MemoryLedger(cost_model.spec,
+                                   config.memory.gc_model)
+        self.memory = GroupMemoryManager(
+            self.ledger, cost_model, config.memory,
+            n_machines=self.n_machines,
+            spill_enabled=(mode.spill_enabled
+                           and config.memory.spill_enabled))
+        self.started_at = sim.now
+        self.stopped_at: Optional[float] = None
+        self.cycles: list[CycleRecord] = []
+        self._jobs: dict[str, Job] = {}
+        self._processes: dict[str, "object"] = {}
+        self._pause_requested: set[str] = set()
+        self._duration_jitter_cv = execution.duration_jitter_cv * (
+            3.0 if mode is ExecutionMode.NAIVE else 1.0)
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machine_ids)
+
+    @property
+    def job_ids(self) -> tuple[str, ...]:
+        return tuple(self._jobs)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self._jobs)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._jobs
+
+    # -- membership ----------------------------------------------------------------
+
+    def can_admit(self, job: Job) -> bool:
+        """Memory-feasibility probe without side effects.
+
+        Admission aims at the configured target pressure, not the OOM
+        line: co-locating a job that would push the group deep into GC
+        territory defeats the purpose (§IV-C balances exactly this).
+        """
+        spill = self.memory.spill_enabled
+        fixed = self.config.memory.fixed_alpha
+        alpha = 1.0 if spill else 0.0
+        if spill and fixed is not None:
+            alpha = fixed
+        # Identical budget basis to the master's memory floors: a plan
+        # sized exactly at its floor must pass this gate, or placement
+        # livelocks (plan -> reject -> re-plan forever).
+        budget = (self.ledger.spec.usable_memory_bytes
+                  * self.config.memory.target_pressure)
+        minimal_new = self.cost_model.resident_bytes(
+            job.spec, self.n_machines, alpha=alpha)
+        if spill and fixed is None and minimal_new > budget:
+            # Only a job that cannot fit at all otherwise (e.g. an
+            # all-reduce full-model replica) is assessed with the
+            # §IV-C model-spill fallback — admit() will actually apply
+            # it in that case.
+            minimal_new = min(minimal_new, self.cost_model.resident_bytes(
+                job.spec, self.n_machines, alpha=1.0,
+                model_spilled=True))
+        # Feasibility on the minimal basis: existing jobs can always be
+        # re-spilled (their alphas raised) to make room for a newcomer.
+        minimal_existing = sum(
+            self.cost_model.resident_bytes(
+                j.spec, self.n_machines,
+                alpha=alpha if not j.model_spilled else 1.0,
+                model_spilled=j.model_spilled)
+            for j in self._jobs.values()) if spill \
+            else self.ledger.resident_bytes
+        return minimal_existing + minimal_new <= budget
+
+    def add_job(self, job: Job, restore: bool = False) -> bool:
+        """Admit a job and start executing it.
+
+        ``restore`` charges the §IV-B4 resume path: the model partition
+        is read back from its checkpoint before iterations resume (input
+        reloading happens through the normal initial-load path).
+        Returns False when the job does not fit in this group's memory.
+        """
+        if job.job_id in self._jobs:
+            raise SimulationError(
+                f"job {job.job_id} already in group {self.group_id}")
+        if job.group_id is not None:
+            raise SimulationError(
+                f"job {job.job_id} is still a member of group "
+                f"{job.group_id}; cannot also join {self.group_id}")
+        if not self.memory.admit(job):
+            return False
+        self._jobs[job.job_id] = job
+        job.group_id = self.group_id
+        self._processes[job.job_id] = self.sim.spawn(
+            self._job_process(job, restore),
+            name=f"{self.group_id}/{job.job_id}")
+        return True
+
+    def request_pause(self, job_id: str) -> None:
+        """Ask a job to pause at its next iteration boundary (§IV-B4)."""
+        if job_id not in self._jobs:
+            raise SimulationError(
+                f"job {job_id} not in group {self.group_id}")
+        self._pause_requested.add(job_id)
+
+    def request_pause_all(self) -> None:
+        for job_id in self._jobs:
+            self._pause_requested.add(job_id)
+
+    @property
+    def pause_pending_count(self) -> int:
+        """Jobs asked to pause that have not reached a boundary yet."""
+        return len(self._pause_requested & set(self._jobs))
+
+    def check_group_memory(self) -> Optional[OutOfMemoryError]:
+        """OOM probe used by the uncoordinated baselines (Fig. 4)."""
+        try:
+            self.ledger.check_oom()
+        except OutOfMemoryError as error:
+            return error
+        return None
+
+    # -- job execution ---------------------------------------------------------------
+
+    def _job_process(self, job: Job, restore: bool):
+        job_id = job.job_id
+        spec = job.spec
+        m = self.n_machines
+        profile = self.cost_model.profile(spec, m)
+        barrier = 1.0 + self.config.execution.barrier_overhead
+
+        if self.mode is ExecutionMode.NAIVE:
+            oom = self.check_group_memory()
+            if oom is not None:
+                self._drop_job(job)
+                self.hooks.on_job_failed(job, self, oom)
+                return
+
+        # Initial load: restore the model checkpoint if migrating, then
+        # stream the memory-side input blocks from disk.
+        load_seconds = 0.0
+        if restore:
+            load_seconds += self.cost_model.disk.restore_seconds(
+                self.cost_model.checkpoint_bytes(spec, m))
+        memory_side_bytes = spec.input_gb * (1.0 - job.alpha) / m * 1024**3
+        load_seconds += self.cost_model.disk.read_seconds(memory_side_bytes)
+        if load_seconds > 0:
+            yield self.disk.submit(load_seconds, tag=job_id)
+
+        reload_event: Optional[Event] = self._submit_reload(job)
+        finished = False
+
+        while job.remaining_iterations > 0:
+            if job_id in self._pause_requested:
+                break
+            cycle_start = self.sim.now
+
+            # PULL subtask (network).
+            t_pull = (profile.t_pull * barrier * self._jitter(job_id)
+                      * self._comm_interference())
+            record_pull = yield self.net.submit(t_pull, tag=job_id)
+
+            # Wait for this iteration's disk-side blocks (§IV-C): the
+            # reload was issued in the background one iteration ago.
+            stall = 0.0
+            if reload_event is not None:
+                before = self.sim.now
+                yield reload_event
+                stall = self.sim.now - before
+
+            # COMP subtask (CPU), inflated by GC pressure.
+            gc_factor = self.memory.gc_inflation()
+            t_comp_base = profile.t_comp * barrier * self._jitter(job_id)
+            record_comp = yield self.cpu.submit(t_comp_base * gc_factor,
+                                                tag=job_id)
+
+            # Kick off the next iteration's background reload.
+            reload_event = self._submit_reload(job)
+
+            # PUSH subtask (network).
+            t_push = (profile.t_push * barrier * self._jitter(job_id)
+                      * self._comm_interference())
+            record_push = yield self.net.submit(t_push, tag=job_id)
+
+            now = self.sim.now
+            # Profiled durations are the subtasks' own service demands
+            # (what a real runtime measures from bytes moved / records
+            # processed), not wall spans inflated by queueing behind
+            # co-located jobs — the whole point of profiling is to
+            # predict the jobs' standalone resource needs (§IV-B1).
+            cycle = CycleRecord(
+                job_id=job_id,
+                finished_at=now,
+                duration=now - cycle_start,
+                t_cpu_measured=record_comp.work,
+                t_net_measured=record_pull.work + record_push.work,
+                gc_overhead=t_comp_base * (gc_factor - 1.0),
+                stall=stall,
+                alpha=job.alpha)
+            self.cycles.append(cycle)
+            self.memory.record_iteration(job, cycle.gc_overhead, stall,
+                                         busy_seconds=cycle.duration)
+            finished = job.complete_iteration()
+            self.hooks.on_iteration(job, self)
+            if finished:
+                break
+
+        if reload_event is not None:
+            self.disk.cancel(reload_event)
+        if finished:
+            self._drop_job(job)
+            self.hooks.on_job_finished(job, self)
+        else:
+            # Pause path: wait for the ongoing iteration to end (already
+            # guaranteed here), checkpoint the model parameters to disk.
+            checkpoint = self.cost_model.disk.checkpoint_seconds(
+                self.cost_model.checkpoint_bytes(spec, m))
+            yield self.disk.submit(checkpoint, tag=job_id)
+            self._drop_job(job)
+            self.hooks.on_job_paused(job, self)
+
+    def _submit_reload(self, job: Job) -> Optional[Event]:
+        if not self.memory.spill_enabled:
+            return None
+        seconds = self.memory.reload_seconds(job)
+        if seconds <= 0:
+            return None
+        return self.disk.submit(seconds, tag=job.job_id)
+
+    def _jitter(self, job_id: str) -> float:
+        return self.streams.jitter(f"duration:{self.group_id}:{job_id}",
+                                   self._duration_jitter_cv)
+
+    def _comm_interference(self) -> float:
+        """Occasional bursty-traffic slowdown on a COMM subtask (§VI
+        multi-tenant interference; off by default)."""
+        probability = self.config.execution.comm_interference_probability
+        if probability <= 0.0:
+            return 1.0
+        rng = self.streams.stream(f"interference:{self.group_id}")
+        if rng.random() >= probability:
+            return 1.0
+        return float(rng.uniform(
+            1.5, self.config.execution.comm_interference_max))
+
+    def _drop_job(self, job: Job) -> None:
+        self.memory.evict(job)
+        self._jobs.pop(job.job_id, None)
+        self._processes.pop(job.job_id, None)
+        self._pause_requested.discard(job.job_id)
+        if job.group_id == self.group_id:
+            job.group_id = None
+
+    # -- failure injection (§VI fault tolerance) ----------------------------------
+
+    def crash(self) -> list[Job]:
+        """A machine/process failure takes the whole group down.
+
+        "A machine/process failure (e.g., OOM) may have an impact on
+        all co-located jobs" (§VI).  Every job process is killed
+        mid-flight (no checkpoint is written — that is the point of a
+        crash) and the group's resources are abandoned.  Returns the
+        jobs that were running so the master can restart them from
+        their last checkpoint.
+        """
+        victims = list(self._jobs.values())
+        for process in self._processes.values():
+            process.kill()
+        for job in victims:
+            self.memory.evict(job)
+            if job.group_id == self.group_id:
+                job.group_id = None
+        self._jobs.clear()
+        self._processes.clear()
+        self._pause_requested.clear()
+        self.cpu.close_segments()
+        self.net.close_segments()
+        self.stopped_at = self.sim.now
+        return victims
+
+    # -- teardown -------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Freeze resource accounting; the group must be empty."""
+        if self._jobs:
+            raise SimulationError(
+                f"stopping group {self.group_id} with live jobs: "
+                f"{sorted(self._jobs)}")
+        self.cpu.close_segments()
+        self.net.close_segments()
+        self.stopped_at = self.sim.now
+
+    # -- measurements ------------------------------------------------------------------
+
+    def measured_group_iteration(self, since: float = 0.0) -> Optional[float]:
+        """Mean per-job cycle duration in steady state (Fig. 13b's
+        measured ``T_g_itr``); None when nothing completed yet."""
+        durations = [c.duration for c in self.cycles
+                     if c.finished_at >= since]
+        if not durations:
+            return None
+        return sum(durations) / len(durations)

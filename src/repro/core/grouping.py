@@ -1,0 +1,154 @@
+"""Job-to-group assignment (§IV-B3, "the grouping algorithm").
+
+"The grouping algorithm assigns jobs J evenly into a given number of
+groups n_G*.  In order to prevent job-bound cases, we place jobs with
+similar iteration times together ... The scheduler first sorts jobs by
+their job iteration time.  The scheduler then fills job groups one by
+one with jobs from the sorted list in a greedy manner to balance
+resource use.  Lastly, the algorithm fine-tunes the result by swapping
+jobs between the groups."
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from repro.core.profiler import JobMetrics
+from repro.errors import SchedulingError
+
+#: While filling a group, the next job is chosen among this many heads
+#: of the sorted list: close enough in iteration time to avoid
+#: job-bound groups, free enough to balance CPU vs network use.
+_FILL_WINDOW = 4
+
+
+def _imbalance(group: Sequence[JobMetrics], m: int) -> float:
+    """Signed resource imbalance: positive = CPU-heavy (at DoP ``m``)."""
+    return (sum(job.t_cpu_at(m) for job in group)
+            - sum(job.t_net for job in group))
+
+
+def assign_jobs(jobs: Sequence[JobMetrics], n_groups: int, m_ref: int,
+                max_swap_passes: int = 50) -> list[list[JobMetrics]]:
+    """Partition ``jobs`` into ``n_groups`` balanced groups.
+
+    ``m_ref`` is the DoP assumed while balancing (Algorithm 1 assumes
+    all groups get an equal number of machines, so ``m_ref ≈ M / n_G``).
+    """
+    if n_groups < 1:
+        raise SchedulingError(f"need >= 1 group, got {n_groups}")
+    if n_groups > len(jobs):
+        raise SchedulingError(
+            f"{n_groups} groups for only {len(jobs)} jobs")
+    if m_ref < 1:
+        raise SchedulingError(f"m_ref must be >= 1, got {m_ref}")
+
+    # Sort by solo iteration time, longest first, so that large jobs are
+    # kept together rather than spread across groups.
+    remaining = sorted(jobs, key=lambda j: j.t_iteration_at(m_ref),
+                       reverse=True)
+
+    # Even split: the first (len % n) groups take one extra job.
+    base, extra = divmod(len(remaining), n_groups)
+    groups: list[list[JobMetrics]] = []
+    for index in range(n_groups):
+        quota = base + (1 if index < extra else 0)
+        group: list[JobMetrics] = []
+        for _ in range(quota):
+            group.append(_pick_balancing(remaining, group, m_ref))
+        groups.append(group)
+
+    _fine_tune_swaps(groups, m_ref, max_swap_passes)
+    return groups
+
+
+def _pick_balancing(remaining: list[JobMetrics], group: list[JobMetrics],
+                    m_ref: int) -> JobMetrics:
+    """Pop, from the head window of the sorted list, the job that keeps
+    the group's CPU/network use most balanced."""
+    window = min(_FILL_WINDOW, len(remaining))
+    current = _imbalance(group, m_ref)
+    best_index = 0
+    best_cost = None
+    for index in range(window):
+        candidate = remaining[index]
+        cost = abs(current + candidate.t_cpu_at(m_ref) - candidate.t_net)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_index = index
+    return remaining.pop(best_index)
+
+
+def _fine_tune_swaps(groups: list[list[JobMetrics]], m_ref: int,
+                     max_passes: int) -> None:
+    """Pairwise swap refinement (§IV-B3).
+
+    "It first picks the most imbalanced group, and finds the group that
+    has the most complementary resource use.  Then, it finds the tuple
+    of jobs from each of the groups that would minimize the
+    resource-imbalance for both of the groups, and swaps the two jobs.
+    The fine-tuning repeats until there are no possible swap cases."
+    """
+    if len(groups) < 2:
+        return
+    for _ in range(max_passes):
+        imbalances = [_imbalance(g, m_ref) for g in groups]
+        order = sorted(range(len(groups)), key=lambda i: -abs(imbalances[i]))
+        g1 = order[0]
+        # Most complementary: the group whose imbalance is most opposite.
+        g2 = min((i for i in range(len(groups)) if i != g1),
+                 key=lambda i: imbalances[i] * (1 if imbalances[g1] > 0
+                                                else -1))
+        if not _best_swap(groups[g1], groups[g2], m_ref):
+            return
+
+
+def _best_swap(group_a: list[JobMetrics], group_b: list[JobMetrics],
+               m_ref: int) -> bool:
+    """Apply the single swap that most reduces combined imbalance.
+
+    Returns True if an improving swap was found and applied.
+    """
+    imbalance_a = _imbalance(group_a, m_ref)
+    imbalance_b = _imbalance(group_b, m_ref)
+    current_cost = abs(imbalance_a) + abs(imbalance_b)
+    best = None
+    best_cost = current_cost - 1e-9
+    deltas_a = [job.t_cpu_at(m_ref) - job.t_net for job in group_a]
+    deltas_b = [job.t_cpu_at(m_ref) - job.t_net for job in group_b]
+
+    if len(group_a) * len(group_b) <= 4096:
+        pairs = ((ia, ib) for ia in range(len(group_a))
+                 for ib in range(len(group_b)))
+    else:
+        # Large groups (§V-F scale): for each job of A, only probe the
+        # jobs of B whose delta is closest to the ideal swap partner
+        # (the combined cost is piecewise-linear in delta_b, minimized
+        # near delta_a - (I_a - I_b)/2).
+        order_b = sorted(range(len(group_b)), key=deltas_b.__getitem__)
+        sorted_deltas = [deltas_b[i] for i in order_b]
+
+        def candidate_pairs():
+            for ia in range(len(group_a)):
+                target = deltas_a[ia] - (imbalance_a - imbalance_b) / 2.0
+                position = bisect.bisect_left(sorted_deltas, target)
+                for offset in (-1, 0, 1):
+                    probe = position + offset
+                    if 0 <= probe < len(order_b):
+                        yield ia, order_b[probe]
+        pairs = candidate_pairs()
+
+    for ia, ib in pairs:
+        delta_a = deltas_a[ia]
+        delta_b = deltas_b[ib]
+        new_cost = (abs(imbalance_a - delta_a + delta_b)
+                    + abs(imbalance_b - delta_b + delta_a))
+        if new_cost < best_cost:
+            best_cost = new_cost
+            best = (ia, ib)
+    if best is None:
+        return False
+    ia, ib = best
+    group_a[ia], group_b[ib] = group_b[ib], group_a[ia]
+    return True

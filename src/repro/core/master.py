@@ -1,0 +1,841 @@
+"""The Harmony master (§III, Fig. 6).
+
+The master owns the job queue and the job groups: it assigns newly
+submitted jobs to groups for profiling, runs the scheduling algorithm
+over profiled metrics, applies grouping decisions by migrating jobs
+(pause -> checkpoint -> restore, §IV-B4), repairs groups when jobs
+finish (similar-job replacement, then escalating regrouping), and
+admits waiting jobs when machines free up.
+
+Interpretation choices relative to the paper are documented inline and
+in DESIGN.md: a profiled job chooses among {stay, move, new-group,
+wait} by predicted cluster utilization (the paper's "adds it to a
+proper group that maximizes U or let it wait"), and a periodic check
+realizes §IV-B2's "constantly seeks for higher resource utilization"
+under the 5% benefit threshold.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.config import SimConfig
+from repro.core.group_runtime import ExecutionMode, GroupRuntime
+from repro.core.job import Job, JobState
+from repro.core.perfmodel import GroupEstimate, PerfModel
+from repro.core.profiler import JobMetrics, Profiler
+from repro.core.regroup import (
+    find_similar_bundle,
+    find_similar_job,
+    prefer_fewer_jobs,
+)
+from repro.core.scheduler import HarmonyScheduler, SchedulePlan
+from repro.errors import SchedulingError
+from repro.metrics.utilization import ClusterUsageRecorder, DecisionRecord
+from repro.sim import RandomStreams, Simulator
+from repro.sim.resources import RateResource
+from repro.workloads.apps import JobSpec
+from repro.workloads.costmodel import CostModel
+
+#: At most this many new jobs profile concurrently in one group, to
+#: "minimize the potential degradation of resource utilization" (§IV-B1).
+_MAX_PROFILING_PER_GROUP = 2
+#: Machines of a bootstrap profiling group when the cluster is empty.
+_BOOTSTRAP_MACHINES = 4
+#: Escalation limit: how many groups beyond the repaired one may join a
+#: completion-triggered regrouping before we stop growing the scope.
+_MAX_ESCALATION_GROUPS = 3
+
+
+@dataclass
+class _Rebuild:
+    """An in-flight plan application.
+
+    Only *unmatched* groups drain; matched groups keep running while
+    individual jobs migrate in and out ("the master simply pauses the
+    job and executes the other co-located jobs in the meanwhile,
+    keeping the resources busy", §IV-B4).  ``slots`` are the plan groups
+    that need fresh machine sets once the drain releases them.
+    """
+
+    draining: set[str]
+    slots: list[tuple[str, tuple[str, ...], int]]
+
+
+def _busy_fraction(resource: RateResource, t_start: float,
+                   t_end: float) -> float:
+    """Average busy level of a resource over a window."""
+    span = t_end - t_start
+    if span <= 0:
+        return 0.0
+    resource.close_segments()
+    busy = 0.0
+    for segment in resource.segments:
+        lo = max(segment.start, t_start)
+        hi = min(segment.end, t_end)
+        if hi > lo:
+            busy += (hi - lo) * segment.level
+    return busy / span
+
+
+class HarmonyMaster:
+    """Scheduling brain bound to a simulator and a cluster."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 cost_model: CostModel, config: SimConfig,
+                 streams: RandomStreams,
+                 recorder: ClusterUsageRecorder,
+                 perf_model: Optional[PerfModel] = None,
+                 scheduler_factory=None):
+        self.sim = sim
+        self.cluster = cluster
+        self.cost_model = cost_model
+        self.config = config
+        self.streams = streams
+        self.recorder = recorder
+        self.profiler = Profiler(ema_alpha=config.scheduler.ema_alpha)
+        self.perf_model = perf_model if perf_model is not None \
+            else PerfModel(cpu_weight=config.scheduler.cpu_weight)
+        # The scheduling algorithm is pluggable so the §V-F Oracle can
+        # drive the very same master (Fig. 14's comparison).
+        if scheduler_factory is None:
+            scheduler_factory = HarmonyScheduler
+        self.scheduler = scheduler_factory(
+            perf_model=self.perf_model, config=config.scheduler,
+            memory_floor=self._memory_floor)
+
+        self.jobs: dict[str, Job] = {}
+        self.groups: dict[str, GroupRuntime] = {}
+        self._group_ids = itertools.count()
+        self._waiting: list[str] = []
+        self._profiling_iterations: dict[str, int] = {}
+        self._pending_moves: dict[str, str] = {}
+        self._rebuild: Optional[_Rebuild] = None
+        self._last_apply_time = float("-inf")
+        #: group_id -> index of its open DecisionRecord + epoch start.
+        self._open_decisions: dict[str, tuple[int, float]] = {}
+        self.migration_overhead_seconds = 0.0
+        #: (time, n_machines, n_jobs) per group membership epoch — the
+        #: raw data behind Fig. 12's DoP / jobs-per-group CDFs.
+        self.group_shape_log: list[tuple[float, int, int]] = []
+        #: Cycle records of groups that have been torn down.
+        self.finished_cycles: list = []
+        #: Count of machine failures processed (§VI fault tolerance).
+        self.failures_injected = 0
+
+    # ------------------------------------------------------------------ API
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Accept a job into the queue (the Fig. 6 'waiting' state)."""
+        if spec.job_id in self.jobs:
+            raise SchedulingError(f"duplicate job id {spec.job_id}")
+        job = Job(spec)
+        self.jobs[spec.job_id] = job
+        self._waiting.append(spec.job_id)
+        self._pump()
+        return job
+
+    @property
+    def all_done(self) -> bool:
+        return all(job.is_done for job in self.jobs.values())
+
+    def jobs_in_state(self, *states: JobState) -> list[Job]:
+        return [job for job in self.jobs.values() if job.state in states]
+
+    # --------------------------------------------------------- group hooks
+
+    def on_iteration(self, job: Job, group: GroupRuntime) -> None:
+        cycle = group.cycles[-1]
+        self.profiler.record_iteration(job.job_id, cycle.t_cpu_measured,
+                                       cycle.t_net_measured,
+                                       group.n_machines)
+        if job.state is JobState.PROFILING:
+            count = self._profiling_iterations.get(job.job_id, 0) + 1
+            self._profiling_iterations[job.job_id] = count
+            if count >= self.config.scheduler.profiling_iterations:
+                job.transition(JobState.PROFILED)
+                self._on_job_profiled(job)
+
+    def on_job_finished(self, job: Job, group: GroupRuntime) -> None:
+        job.transition(JobState.FINISHED)
+        job.finish_time = self.sim.now
+        self._note_membership_change(group)
+        if self._rebuild is None:
+            self._handle_completion(group, job)
+        self._check_rebuild()
+        self._pump()
+
+    def on_job_paused(self, job: Job, group: GroupRuntime) -> None:
+        job.transition(JobState.PAUSED)
+        job.migrations += 1
+        self.migration_overhead_seconds += \
+            self.cost_model.disk.checkpoint_seconds(
+                self.cost_model.checkpoint_bytes(job.spec,
+                                                 group.n_machines))
+        self._note_membership_change(group)
+        self._settle_routes()
+        self._check_rebuild()
+        self._pump()
+
+    def on_job_failed(self, job: Job, group: GroupRuntime,
+                      error: Exception) -> None:
+        job.transition(JobState.FAILED)
+        job.finish_time = self.sim.now
+        self._note_membership_change(group)
+        self._check_rebuild()
+        self._pump()
+
+    # ----------------------------------------------------------- the pump
+
+    def _pump(self) -> None:
+        """Advance every queue that may have become serviceable.
+
+        Each stage may start a rebuild (a plan application); the stages
+        after it must not hand out jobs or machines that the in-flight
+        rebuild already claims, hence the re-checks.
+        """
+        if self._rebuild is not None:
+            return
+        self._cleanup_idle_groups()
+        self._admit_paused_to_free_machines()
+        if self._rebuild is not None:
+            return
+        self._assign_profiling()
+
+    def _cleanup_idle_groups(self) -> None:
+        reserved = set(self._pending_moves.values())
+        for group_id in [gid for gid, g in self.groups.items()
+                         if g.is_idle and gid not in reserved]:
+            self._stop_group(group_id)
+
+    def _stop_group(self, group_id: str) -> None:
+        group = self.groups.pop(group_id)
+        self._close_decision(group, self.sim.now)
+        group.stop()
+        self.finished_cycles.extend(group.cycles)
+        self.recorder.group_stopped(group_id, self.sim.now)
+        self.cluster.release_all(group_id)
+
+    # -------------------------------------------------------- profiling path
+
+    def _needs_profiling(self) -> list[Job]:
+        waiting = [self.jobs[jid] for jid in self._waiting
+                   if self.jobs[jid].state is JobState.WAITING]
+        unmeasured = [job for job in
+                      self.jobs_in_state(JobState.PAUSED)
+                      if not self.profiler.has(job.job_id)]
+        return waiting + unmeasured
+
+    def _assign_profiling(self) -> None:
+        """Deploy queued jobs for profiling (§IV-B1): into a group that
+        is already profiling, else the group with the fewest machines,
+        else a fresh bootstrap group on free machines."""
+        for job in self._needs_profiling():
+            target = self._profiling_target(job)
+            if target is None:
+                target = self._bootstrap_group(job)
+            if target is None:
+                break  # no capacity anywhere; wait for an event
+            previous_state = job.state
+            job.transition(JobState.PROFILING)
+            self._profiling_iterations[job.job_id] = 0
+            if not target.add_job(job, restore=False):
+                # Memory probe passed but admission failed; undo.
+                job.state = previous_state
+                continue
+            self._note_membership_change(target)
+            if previous_state is JobState.WAITING:
+                self._waiting.remove(job.job_id)
+
+    def _profiling_target(self, job: Job) -> Optional[GroupRuntime]:
+        def profiling_count(group: GroupRuntime) -> int:
+            return sum(1 for j in group.jobs()
+                       if j.state is JobState.PROFILING)
+
+        candidates = [g for g in self.groups.values()
+                      if profiling_count(g) < _MAX_PROFILING_PER_GROUP
+                      and g.can_admit(job)]
+        if not candidates:
+            return None
+        already_profiling = [g for g in candidates if profiling_count(g)]
+        pool = already_profiling if already_profiling else candidates
+        return min(pool, key=lambda g: g.n_machines)
+
+    def _bootstrap_group(self, job: Job) -> Optional[GroupRuntime]:
+        floor = self._memory_floor([job.job_id])
+        wanted = max(_BOOTSTRAP_MACHINES, floor)
+        if wanted > self.cluster.n_free:
+            return None
+        return self._start_group((), wanted)
+
+    # ---------------------------------------------------- failure injection
+
+    def inject_machine_failure(self, machine_id: int) -> list[str]:
+        """A machine dies: the group on it crashes and every co-located
+        job restarts from its last checkpoint (§VI fault tolerance).
+
+        Returns the ids of the affected jobs.  The machine itself
+        returns to service (the paper's failures are process-level:
+        "the shared runtime catches all exceptions ... a machine/
+        process failure may have an impact on all co-located jobs").
+        """
+        owner = self.cluster.owner_of(machine_id)
+        group = self.groups.get(owner) if owner else None
+        if group is None:
+            return []  # free machine, or a non-group owner
+        group_id = group.group_id
+        self._close_decision(group, self.sim.now)
+        victims = group.crash()
+        self.failures_injected += 1
+        self.finished_cycles.extend(group.cycles)
+        del self.groups[group_id]
+        self.recorder.group_stopped(group_id, self.sim.now)
+        self.cluster.release_all(group_id)
+        if self._rebuild is not None:
+            self._rebuild.draining.discard(group_id)
+
+        lost = self.config.execution.checkpoint_interval_iterations
+        for job in victims:
+            # Restart from the last checkpoint: the in-flight progress
+            # since then is gone.
+            job.remaining_iterations = min(
+                job.spec.iterations, job.remaining_iterations + lost)
+            if job.state is not JobState.PAUSED:
+                job.transition(JobState.PAUSED)
+            job.migrations += 1
+            self._pending_moves.pop(job.job_id, None)
+        self._check_rebuild()
+        self._pump()
+        return [job.job_id for job in victims]
+
+    # ------------------------------------------- periodic improvement check
+
+    def periodic_check(self) -> None:
+        """Re-evaluate the whole grouping; regroup only when the
+        predicted utilization gain clears the 5% threshold (§IV-B2's
+        "constantly seeks for higher resource utilization").
+
+        Groups currently profiling a new job are left alone — pausing a
+        half-profiled job would only churn (§IV-B1 wants profiling to
+        finish undisturbed).
+        """
+        if self._rebuild is not None or self._pending_moves:
+            return
+        settle = 2.0 * self.config.scheduler.reschedule_check_seconds
+        if self.sim.now - self._last_apply_time < settle:
+            return  # let the previous regrouping settle before re-judging
+        stable = {gid: g for gid, g in self.groups.items()
+                  if not any(j.state is JobState.PROFILING
+                             for j in g.jobs())}
+        budget = (sum(g.n_machines for g in stable.values())
+                  + self.cluster.n_free)
+        if budget < 1:
+            return
+        pool = [self.profiler.get(j.job_id)
+                for g in stable.values() for j in g.jobs()
+                if self.profiler.has(j.job_id)]
+        pool += self._paused_metrics()
+        if not pool:
+            return
+        plan = self.scheduler.schedule(pool, budget)
+        if plan is None:
+            return
+        current_estimates = []
+        for group in stable.values():
+            metrics = [self.profiler.get(j.job_id) for j in group.jobs()
+                       if self.profiler.has(j.job_id)]
+            if metrics:
+                current_estimates.append(self.perf_model.estimate_group(
+                    metrics, group.n_machines))
+        current = self.perf_model.score(
+            self.perf_model.cluster_utilization(current_estimates,
+                                                total_machines=budget)) \
+            if current_estimates else 0.0
+        threshold = self.config.scheduler.regroup_benefit_threshold
+        if plan.score > current * (1.0 + threshold):
+            self._apply_plan(plan, scope_group_ids=set(stable))
+
+    # ------------------------------------------------ profiled-job decision
+
+    def _on_job_profiled(self, job: Job) -> None:
+        """The §IV-B4 arrival rule, generalized to {stay, move, new
+        group, wait} chosen by predicted cluster utilization."""
+        if self._rebuild is not None:
+            return  # the in-flight regrouping will place everyone
+        metrics = self.profiler.get(job.job_id)
+        current_group = self.groups.get(job.group_id or "")
+
+        options: list[tuple[float, str, Optional[str]]] = []
+        options.append((self._score_with(job, placed_in=job.group_id),
+                        "stay", job.group_id))
+        for group_id, group in self.groups.items():
+            if group_id == job.group_id or not group.can_admit(job):
+                continue
+            options.append((self._score_with(job, placed_in=group_id),
+                            "move", group_id))
+        new_m = self._balanced_machines(metrics)
+        if new_m is not None:
+            options.append((self._score_with(job, new_group_m=new_m),
+                            "new", None))
+        options.append((self._score_with(job, placed_in=None),
+                        "wait", None))
+
+        options.sort(key=lambda option: -option[0])
+        _, action, target_id = options[0]
+        if action == "stay":
+            job.transition(JobState.RUNNING)
+        elif action == "move":
+            self._pending_moves[job.job_id] = target_id  # type: ignore[arg-type]
+            assert current_group is not None
+            current_group.request_pause(job.job_id)
+        elif action == "new":
+            group = self._start_group((), new_m)  # type: ignore[arg-type]
+            self._pending_moves[job.job_id] = group.group_id
+            assert current_group is not None
+            current_group.request_pause(job.job_id)
+        else:  # wait
+            assert current_group is not None
+            current_group.request_pause(job.job_id)
+
+    def _balanced_machines(self, metrics: JobMetrics) -> Optional[int]:
+        """Machine count balancing one job's CPU and network use, capped
+        by free machines and floored by memory feasibility."""
+        free = self.cluster.n_free
+        if free < 1:
+            return None
+        floor = self._memory_floor([metrics.job_id])
+        if floor > free:
+            return None
+        balanced = max(1, round(metrics.cpu_work / max(metrics.t_net,
+                                                       1e-9)))
+        return min(free, max(floor, min(balanced, self.cluster.size)))
+
+    # ------------------------------------------------- completion handling
+
+    def _handle_completion(self, group: GroupRuntime,
+                           finished: Job) -> None:
+        """§IV-B4 case (2): repair the group of a finished job."""
+        threshold = self.config.scheduler.similarity_threshold
+        if not self.profiler.has(finished.job_id):
+            return
+        target = self.profiler.get(finished.job_id)
+        m = group.n_machines
+        candidates = self._paused_metrics()
+
+        replacement = find_similar_job(candidates, target, m, threshold)
+        if replacement is not None:
+            job = self.jobs[replacement.job_id]
+            if group.can_admit(job):
+                self._resume_into(job, group)
+                return
+
+        bundle = find_similar_bundle(candidates, target, m, threshold)
+        if bundle is not None:
+            jobs = [self.jobs[item.job_id] for item in bundle]
+            if all(group.can_admit(job) for job in jobs):
+                admitted = True
+                for job in jobs:
+                    if not self._resume_into(job, group):
+                        admitted = False
+                        break
+                if admitted:
+                    return
+
+        self._escalate(group)
+
+    def _escalate(self, anchor: GroupRuntime) -> None:
+        """§IV-B4 case (2) escalation: regroup over a growing scope.
+
+        Scopes grow from the repaired group outward through the groups
+        with the fewest jobs; each candidate plan is scored over the
+        whole cluster and the smallest-scope plan wins unless a larger
+        one beats it by more than the 5% preference.
+        """
+        paused = self._paused_metrics()
+        others = sorted((g for g in self.groups.values()
+                         if g.group_id != anchor.group_id),
+                        key=lambda g: g.n_jobs)
+        scopes: list[list[GroupRuntime]] = []
+        scope: list[GroupRuntime] = [anchor]
+        scopes.append(list(scope))
+        for group in others[:_MAX_ESCALATION_GROUPS]:
+            scope.append(group)
+            scopes.append(list(scope))
+
+        evaluated: list[tuple[int, float, SchedulePlan,
+                              set[str]]] = []
+        for scope_groups in scopes:
+            scope_ids = {g.group_id for g in scope_groups}
+            scope_jobs = [self.profiler.get(j.job_id)
+                          for g in scope_groups for j in g.jobs()
+                          if self.profiler.has(j.job_id)
+                          and j.state is not JobState.PROFILING]
+            pool = scope_jobs + paused
+            if not pool:
+                continue
+            budget = (sum(g.n_machines for g in scope_groups)
+                      + self.cluster.n_free)
+            if budget < 1:
+                continue
+            plan = self.scheduler.schedule(pool, budget)
+            if plan is None:
+                continue
+            score = self._score_plan_with_rest(plan, exclude=scope_ids)
+            evaluated.append((len(pool), score, plan, scope_ids))
+
+        if not evaluated:
+            return
+        chosen_index = prefer_fewer_jobs(
+            [(n, score) for n, score, _, _ in evaluated],
+            preference=self.config.scheduler.fewer_jobs_preference)
+        assert chosen_index is not None
+        _, score, plan, scope_ids = evaluated[chosen_index]
+        current = self._score_current()
+        threshold = self.config.scheduler.regroup_benefit_threshold
+        if score <= current * (1.0 + threshold):
+            return  # expected benefit below 5% of U: skip regrouping
+        self._apply_plan(plan, scope_group_ids=scope_ids)
+
+    # --------------------------------------------------- waiting-pool drain
+
+    def _admit_paused_to_free_machines(self) -> None:
+        """Build new groups for paused jobs when machines are idle."""
+        free = self.cluster.n_free
+        paused = self._paused_metrics()
+        if free < 1 or not paused:
+            return
+        plan = self.scheduler.schedule(paused, free)
+        if plan is None:
+            return
+        for group_plan in plan.groups:
+            jobs = [self.jobs[jid] for jid in group_plan.job_ids
+                    if not self.jobs[jid].is_done]
+            if not jobs or group_plan.n_machines > self.cluster.n_free:
+                continue
+            group = self._start_group((), group_plan.n_machines)
+            for job in jobs:
+                self._resume_into(job, group)
+
+    # ------------------------------------------------------ plan application
+
+    def _apply_plan(self, plan: SchedulePlan,
+                    scope_group_ids: set[str]) -> None:
+        """Migrate from the current grouping (within scope) to ``plan``.
+
+        Plan groups are matched to live groups with the same machine
+        count by job overlap; matched groups stay alive and only the
+        differing jobs move.  Unmatched live groups drain fully; their
+        machines then form the plan's remaining groups.
+        """
+        self._last_apply_time = self.sim.now
+        live = {gid: self.groups[gid] for gid in scope_group_ids
+                if gid in self.groups}
+
+        # Greedy max-overlap matching among same-sized groups.
+        pairs = []
+        for index, group_plan in enumerate(plan.groups):
+            wanted = set(group_plan.job_ids)
+            for gid, group in live.items():
+                if group.n_machines != group_plan.n_machines:
+                    continue
+                overlap = len(wanted & set(group.job_ids))
+                if overlap > 0:
+                    pairs.append((overlap, index, gid))
+        pairs.sort(reverse=True)
+        matched_plan: dict[int, str] = {}
+        matched_live: set[str] = set()
+        for overlap, index, gid in pairs:
+            if index in matched_plan or gid in matched_live:
+                continue
+            matched_plan[index] = gid
+            matched_live.add(gid)
+
+        # Routing table: where every planned job must end up.
+        slots: list[tuple[str, tuple[str, ...], int]] = []
+        routes: dict[str, str] = {}
+        for index, group_plan in enumerate(plan.groups):
+            target = matched_plan.get(index)
+            if target is None:
+                target = f"slot:{index}"
+                slots.append((target, group_plan.job_ids,
+                              group_plan.n_machines))
+            for job_id in group_plan.job_ids:
+                routes[job_id] = target
+
+        # Pause what must move; drain unmatched groups entirely.
+        draining: set[str] = set()
+        for gid, group in live.items():
+            if gid in matched_live:
+                for job in group.jobs():
+                    if job.state is JobState.PROFILING:
+                        continue  # let profiling finish undisturbed
+                    if routes.get(job.job_id) != gid:
+                        group.request_pause(job.job_id)
+            else:
+                group.request_pause_all()
+                draining.add(gid)
+
+        for job_id, target in routes.items():
+            job = self.jobs.get(job_id)
+            if job is None or job.is_done or job.group_id == target:
+                continue
+            self._pending_moves[job_id] = target
+            if job.group_id is not None:
+                holder = self.groups.get(job.group_id)
+                if holder is not None:
+                    holder.request_pause(job_id)
+
+        self._rebuild = _Rebuild(draining=draining, slots=slots)
+        self._settle_routes()
+        self._check_rebuild()
+
+    def _check_rebuild(self) -> None:
+        """Once the drain finishes, build the plan's fresh groups."""
+        rebuild = self._rebuild
+        if rebuild is None:
+            return
+        for group_id in list(rebuild.draining):
+            group = self.groups.get(group_id)
+            if group is None:
+                rebuild.draining.discard(group_id)
+            elif group.is_idle:
+                self._stop_group(group_id)
+                rebuild.draining.discard(group_id)
+        # Eagerly materialize any slot whose machines are already free:
+        # waiting for the whole drain would leave the cluster idle for
+        # a full iteration of the slowest draining group.
+        remaining_slots = []
+        for slot, job_ids, n_machines in rebuild.slots:
+            if rebuild.draining and n_machines > self.cluster.n_free:
+                remaining_slots.append((slot, job_ids, n_machines))
+                continue
+            n_machines = min(n_machines, self.cluster.n_free)
+            alive = [jid for jid in job_ids
+                     if jid in self.jobs and not self.jobs[jid].is_done]
+            if n_machines < 1 or not alive:
+                for jid in job_ids:
+                    if self._pending_moves.get(jid) == slot:
+                        del self._pending_moves[jid]
+                continue
+            group = self._start_group((), n_machines)
+            for job_id, target in list(self._pending_moves.items()):
+                if target == slot:
+                    self._pending_moves[job_id] = group.group_id
+        rebuild.slots = remaining_slots
+        if rebuild.draining:
+            self._settle_routes()
+            return
+        self._rebuild = None
+        self._settle_routes()
+        self._pump()
+
+    def _settle_routes(self) -> None:
+        """Resume every paused job whose move target exists and fits."""
+        for job_id, target in list(self._pending_moves.items()):
+            job = self.jobs.get(job_id)
+            if job is None or job.is_done:
+                self._pending_moves.pop(job_id, None)
+                continue
+            if job.state is not JobState.PAUSED:
+                continue  # still draining out of its old group
+            group = self.groups.get(target)
+            if group is None:
+                continue  # target slot not created yet
+            if group.can_admit(job):
+                self._resume_into(job, group)
+            elif group.pause_pending_count == 0:
+                # Nothing will leave the target to make room: the route
+                # is stale, return the job to the general waiting pool.
+                self._pending_moves.pop(job_id, None)
+
+    def _resume_into(self, job: Job, group: GroupRuntime) -> bool:
+        """Restore a paused/profiled job into a group as RUNNING."""
+        if job.is_done or job.group_id is not None:
+            # A stale plan can reference a job that finished or was
+            # placed by a more recent decision; leave it where it is.
+            return False
+        if not group.can_admit(job):
+            # Central memory gate: plans and replacement bundles are
+            # admitted job by job, and each admission shrinks the
+            # group's headroom — a stale or optimistic decision must
+            # not over-commit the group (the job stays paused and is
+            # picked up by a later pump).
+            return False
+        restore = job.migrations > 0
+        if not group.add_job(job, restore=restore):
+            return False
+        self._pending_moves.pop(job.job_id, None)
+        if job.state is not JobState.RUNNING:
+            job.transition(JobState.RUNNING)
+        if restore:
+            self.migration_overhead_seconds += \
+                self.cost_model.disk.restore_seconds(
+                    self.cost_model.checkpoint_bytes(job.spec,
+                                                     group.n_machines))
+        self._note_membership_change(group)
+        return True
+
+    def _start_group(self, job_ids: Sequence[str],
+                     n_machines: int) -> GroupRuntime:
+        group_id = f"g{next(self._group_ids)}"
+        machine_ids = self.cluster.allocate(n_machines, group_id)
+        group = GroupRuntime(self.sim, group_id, machine_ids,
+                             ExecutionMode.HARMONY, self.cost_model,
+                             self.config, self.streams, hooks=self)
+        self.groups[group_id] = group
+        self.recorder.group_started(group_id, n_machines, self.sim.now,
+                                    group.cpu, group.net)
+        for job_id in job_ids:
+            self._resume_into(self.jobs[job_id], group)
+        return group
+
+    # ------------------------------------------------------ scoring helpers
+
+    def _schedulable_metrics(self) -> list[JobMetrics]:
+        return [self.profiler.get(job.job_id)
+                for job in self.jobs.values()
+                if job.is_schedulable and self.profiler.has(job.job_id)]
+
+    def _paused_metrics(self) -> list[JobMetrics]:
+        return [self.profiler.get(job.job_id)
+                for job in self.jobs_in_state(JobState.PAUSED)
+                if self.profiler.has(job.job_id)]
+
+    def _live_estimates(self, exclude_job: Optional[str] = None,
+                        exclude_groups: Sequence[str] = ()) -> \
+            list[GroupEstimate]:
+        estimates = []
+        for group_id, group in self.groups.items():
+            if group_id in exclude_groups:
+                continue
+            metrics = [self.profiler.get(j.job_id) for j in group.jobs()
+                       if self.profiler.has(j.job_id)
+                       and j.job_id != exclude_job]
+            if metrics:
+                estimates.append(self.perf_model.estimate_group(
+                    metrics, group.n_machines))
+        return estimates
+
+    def _score_estimates(self, estimates: Sequence[GroupEstimate]) -> float:
+        if not estimates:
+            return 0.0
+        utilization = self.perf_model.cluster_utilization(
+            estimates, total_machines=self.cluster.size)
+        return self.perf_model.score(utilization)
+
+    def _score_current(self) -> float:
+        return self._score_estimates(self._live_estimates())
+
+    def _score_with(self, job: Job, placed_in: Optional[str] = None,
+                    new_group_m: Optional[int] = None) -> float:
+        """Predicted cluster score with ``job`` placed as specified."""
+        metrics = self.profiler.get(job.job_id)
+        if new_group_m is not None:
+            estimates = self._live_estimates(exclude_job=job.job_id)
+            estimates.append(self.perf_model.estimate_group([metrics],
+                                                            new_group_m))
+        elif placed_in is not None:
+            group = self.groups.get(placed_in)
+            if group is None:
+                return float("-inf")
+            others = [self.profiler.get(j.job_id) for j in group.jobs()
+                      if self.profiler.has(j.job_id)
+                      and j.job_id != job.job_id]
+            estimates = self._live_estimates(exclude_job=job.job_id,
+                                             exclude_groups=(placed_in,))
+            estimates.append(self.perf_model.estimate_group(
+                others + [metrics], group.n_machines))
+        else:
+            estimates = self._live_estimates(exclude_job=job.job_id)
+        return self._score_estimates(estimates)
+
+    def _score_plan_with_rest(self, plan: SchedulePlan,
+                              exclude: set[str]) -> float:
+        estimates = self._live_estimates(exclude_groups=tuple(exclude))
+        estimates.extend(group.estimate for group in plan.groups)
+        return self._score_estimates(estimates)
+
+    def _memory_floor(self, job_ids: Sequence[str]) -> int:
+        """Smallest machine count where the given jobs co-locate near the
+        target memory pressure, assuming maximal input spill (the
+        scheduler's feasibility view, based on sampled sizes)."""
+        budget = (self.cost_model.spec.usable_memory_bytes
+                  * self.config.memory.target_pressure)
+        spill = self.config.memory.spill_enabled
+        alpha = 1.0 if spill else 0.0
+        fixed = self.config.memory.fixed_alpha
+        if fixed is not None:
+            alpha = fixed
+        specs = [self.jobs[jid].spec for jid in job_ids]
+        for m in range(1, self.cluster.size + 1):
+            need = sum(self.cost_model.resident_bytes(spec, m, alpha=alpha)
+                       for spec in specs)
+            if need <= budget:
+                return m
+        if spill:
+            # §IV-C fallback: the model data itself can be spilled when
+            # input spill is not enough (essential under all-reduce,
+            # where every machine holds a full model replica).
+            for m in range(1, self.cluster.size + 1):
+                need = sum(self.cost_model.resident_bytes(
+                    spec, m, alpha=1.0, model_spilled=True)
+                    for spec in specs)
+                if need <= budget:
+                    return m
+        return self.cluster.size + 1  # cannot be placed at all
+
+    # ------------------------------------------------- decision bookkeeping
+
+    def _note_membership_change(self, group: GroupRuntime) -> None:
+        """Close the group's open prediction epoch and start a new one."""
+        now = self.sim.now
+        self._close_decision(group, now)
+        metrics = [self.profiler.get(j.job_id) for j in group.jobs()
+                   if self.profiler.has(j.job_id)]
+        if not metrics or len(metrics) != group.n_jobs:
+            # A job without metrics (still profiling) consumes resources
+            # the model cannot see; such epochs are not comparable.
+            return
+        estimate = self.perf_model.estimate_group(metrics,
+                                                  group.n_machines)
+        self.group_shape_log.append((now, group.n_machines, len(metrics)))
+        record = DecisionRecord(
+            time=now, group_id=group.group_id,
+            n_machines=group.n_machines,
+            job_ids=estimate.job_ids,
+            predicted_t_group=estimate.t_group_iteration,
+            predicted_u_cpu=estimate.utilization.cpu,
+            predicted_u_net=estimate.utilization.net)
+        self.recorder.decisions.append(record)
+        self._open_decisions[group.group_id] = (
+            len(self.recorder.decisions) - 1, now)
+
+    def _close_decision(self, group: GroupRuntime, t_end: float) -> None:
+        open_record = self._open_decisions.pop(group.group_id, None)
+        if open_record is None:
+            return
+        index, t_start = open_record
+        record = self.recorder.decisions[index]
+        # Steady-state cycles only: drop each job's first cycle of the
+        # epoch (pipeline fill after a membership change stretches it).
+        cycles = []
+        seen_once: set[str] = set()
+        for cycle in sorted((c for c in group.cycles
+                             if t_start <= c.finished_at <= t_end
+                             and c.duration > 0),
+                            key=lambda c: c.finished_at):
+            if cycle.job_id in seen_once:
+                cycles.append(cycle)
+            else:
+                seen_once.add(cycle.job_id)
+        if len(cycles) >= 2 * max(1, len(record.job_ids)):
+            record.measured_t_group = (sum(c.duration for c in cycles)
+                                       / len(cycles))
+        if t_end - t_start > 0:
+            record.measured_u_cpu = _busy_fraction(group.cpu, t_start,
+                                                   t_end)
+            record.measured_u_net = _busy_fraction(group.net, t_start,
+                                                   t_end)

@@ -1,0 +1,216 @@
+"""Dynamic data reloading (§IV-C).
+
+Harmony manages each job's input as blocks, keeping a fraction
+``alpha_j = B_disk_j / B_total_j`` on disk.  Too little spill melts the
+group in GC; too much spill stalls COMP subtasks waiting on disk reads.
+A per-job hill climber moves ``alpha_j`` toward the point where the two
+overheads balance; when even full input spill cannot relieve the
+pressure, the *model-data* spill fallback activates ("we support
+similar mechanisms for the model data when the input data spill is not
+enough", §IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.memory import MemoryLedger
+from repro.config import MemoryConfig
+from repro.core.job import Job
+from repro.workloads.costmodel import CostModel
+
+
+@dataclass
+class _JobMemoryState:
+    """Hill-climbing bookkeeping for one admitted job."""
+
+    iterations_since_adjust: int = 0
+    gc_overhead_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+
+
+class GroupMemoryManager:
+    """Block-ratio management for the jobs of one group."""
+
+    def __init__(self, ledger: MemoryLedger, cost_model: CostModel,
+                 config: MemoryConfig, n_machines: int,
+                 spill_enabled: bool = True):
+        self.ledger = ledger
+        self.cost_model = cost_model
+        self.config = config
+        self.n_machines = n_machines
+        self.spill_enabled = spill_enabled
+        self._states: dict[str, _JobMemoryState] = {}
+        self._jobs: dict[str, Job] = {}
+
+    # -- admission -------------------------------------------------------------
+
+    def admit(self, job: Job) -> bool:
+        """Place the job's memory components; choose its initial alpha.
+
+        The initial ratios are estimated from the (sampled) input and
+        model sizes so the group lands at the target pressure; returns
+        False when the job cannot fit even with maximal input and model
+        spill — the caller must not co-locate it here.
+        """
+        if not self.spill_enabled:
+            job.alpha = 0.0
+            job.model_spilled = False
+            self._apply_components(job)
+            self._states[job.job_id] = _JobMemoryState()
+            self._jobs[job.job_id] = job
+            return True
+
+        if self.config.fixed_alpha is not None:
+            # §V-G baseline: "a baseline that uses the same fixed alpha
+            # for all jobs" — no rebalancing, no hill climbing.
+            job.alpha = self.config.fixed_alpha
+            job.model_spilled = False
+            self._apply_components(job)
+            self._states[job.job_id] = _JobMemoryState()
+            self._jobs[job.job_id] = job
+            return True
+
+        job.model_spilled = False
+        self._jobs[job.job_id] = job
+        self._rebalance()
+        if self.ledger.is_oom():
+            # Even alpha = 1 was not enough: try the model-spill fallback.
+            job.alpha = 1.0
+            job.model_spilled = True
+            self._apply_components(job)
+            if self.ledger.is_oom():
+                self.evict(job)
+                self._rebalance()
+                return False
+        self._states[job.job_id] = _JobMemoryState()
+        return True
+
+    def _rebalance(self) -> None:
+        """Spread the memory budget over all admitted jobs with one
+        shared spill ratio (hill climbing personalizes it afterwards).
+
+        Resident size is linear in alpha, so the shared ratio that lands
+        the group at the target pressure has a closed form.
+        """
+        spilled = [j for j in self._jobs.values() if j.model_spilled]
+        plain = [j for j in self._jobs.values() if not j.model_spilled]
+        budget = (self.ledger.spec.usable_memory_bytes
+                  * self.config.target_pressure)
+        m = self.n_machines
+        total_min = sum(self.cost_model.resident_bytes(
+            j.spec, m, alpha=1.0, model_spilled=j.model_spilled)
+            for j in self._jobs.values())
+        total_max = sum(self.cost_model.resident_bytes(
+            j.spec, m, alpha=0.0, model_spilled=j.model_spilled)
+            for j in self._jobs.values())
+        if total_max <= budget:
+            alpha = 0.0
+        elif total_min >= budget or total_max <= total_min:
+            alpha = 1.0
+        else:
+            alpha = 1.0 - (budget - total_min) / (total_max - total_min)
+        for job in plain + spilled:
+            job.alpha = min(1.0, max(0.0, alpha))
+            self._apply_components(job)
+
+    def evict(self, job: Job) -> None:
+        """Remove the job's memory components (pause / finish / reject)."""
+        self.ledger.remove_job(job.job_id)
+        self._states.pop(job.job_id, None)
+        self._jobs.pop(job.job_id, None)
+        if self.spill_enabled and self._jobs:
+            self._rebalance()
+
+    def _apply_components(self, job: Job) -> None:
+        spec = job.spec
+        m = self.n_machines
+        self.ledger.set_component(
+            job.job_id, "input",
+            self.cost_model.input_resident_bytes(spec, m, job.alpha))
+        self.ledger.set_component(
+            job.job_id, "model",
+            self.cost_model.model_resident_bytes(spec, m,
+                                                 job.model_spilled))
+        self.ledger.set_component(
+            job.job_id, "workspace",
+            self.cost_model.workspace_bytes(spec, m, job.alpha))
+
+    # -- per-iteration feedback ---------------------------------------------------
+
+    def reload_seconds(self, job: Job) -> float:
+        """Disk work to bring this iteration's disk-side blocks back.
+
+        Includes the model restore traffic when the model-spill
+        fallback is active.
+        """
+        seconds = self.cost_model.reload_seconds_per_iteration(
+            job.spec, self.n_machines, job.alpha)
+        if job.model_spilled:
+            seconds += self.cost_model.disk.read_seconds(
+                self.cost_model.checkpoint_bytes(job.spec, self.n_machines))
+        return seconds
+
+    def record_iteration(self, job: Job, gc_overhead_seconds: float,
+                         stall_seconds: float,
+                         busy_seconds: float) -> None:
+        """Feed one iteration's overheads into the hill climber."""
+        state = self._states.get(job.job_id)
+        if state is None:
+            return  # job was admitted without spill management
+        if self.config.fixed_alpha is not None or not self.spill_enabled:
+            return  # ratio adaptation disabled
+        state.gc_overhead_seconds += max(0.0, gc_overhead_seconds)
+        state.stall_seconds += max(0.0, stall_seconds)
+        state.busy_seconds += max(0.0, busy_seconds)
+        state.iterations_since_adjust += 1
+        if state.iterations_since_adjust >= self.config.adjust_every:
+            self._adjust_alpha(job, state)
+
+    def _adjust_alpha(self, job: Job, state: _JobMemoryState) -> None:
+        """One hill-climbing step of alpha_j (§IV-C).
+
+        GC dominating -> spill more (alpha up).  Reload stalls
+        dominating -> keep more in memory (alpha down), but only while
+        the extra residency does not push the group over the target
+        pressure.
+        """
+        busy = max(1e-9, state.busy_seconds)
+        gc_fraction = state.gc_overhead_seconds / busy
+        stall_fraction = state.stall_seconds / busy
+        step = self.config.alpha_step
+        tolerance = self.config.tolerance
+
+        if gc_fraction > stall_fraction + tolerance:
+            if job.alpha < 1.0:
+                job.alpha = min(1.0, job.alpha + step)
+                self._apply_components(job)
+            elif not job.model_spilled:
+                # Input spill exhausted but GC persists: activate the
+                # model-data spill fallback ("we support similar
+                # mechanisms for the model data when the input data
+                # spill is not enough", §IV-C).
+                job.model_spilled = True
+                self._apply_components(job)
+        elif stall_fraction > gc_fraction + tolerance and job.alpha > 0.0:
+            candidate = max(0.0, job.alpha - step)
+            previous = job.alpha
+            job.alpha = candidate
+            self._apply_components(job)
+            if self.ledger.pressure > self.config.target_pressure:
+                job.alpha = previous  # would re-create the pressure
+                self._apply_components(job)
+        state.iterations_since_adjust = 0
+        state.gc_overhead_seconds = 0.0
+        state.stall_seconds = 0.0
+        state.busy_seconds = 0.0
+
+    # -- queries -----------------------------------------------------------------
+
+    def gc_inflation(self) -> float:
+        return self.ledger.gc_inflation()
+
+    def alphas(self) -> dict[str, float]:
+        """Snapshot of per-job disk-block ratios (reported in §V-G)."""
+        return {job_id: job.alpha for job_id, job in self._jobs.items()}

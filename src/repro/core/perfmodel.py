@@ -1,0 +1,150 @@
+"""The performance model of co-located jobs (§IV-B2, Eqs. 1–4).
+
+Given profiled metrics, predicts the group iteration time::
+
+    T_g_itr = max( Σ_j T_cpu_j ,  Σ_j T_net_j ,  max_j T_itr_j )      (1)
+
+covering the CPU-bound, network-bound, and job-bound cases of Fig. 8,
+with ``T_cpu_j ∝ 1/m_g`` (2); the per-group utilization vector::
+
+    U(g) = [ Σ T_cpu / T_g_itr ,  Σ T_net / T_g_itr ]                 (3)
+
+and the machine-weighted cluster utilization::
+
+    U = Σ_g m_g · U(g) / Σ_g m_g                                      (4)
+
+An optional *error injector* perturbs predictions — used by the Fig. 13a
+sensitivity study ("we simulate the execution with different error
+levels").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.profiler import JobMetrics
+from repro.errors import SchedulingError
+
+#: Called as ``injector(kind, job_id)`` with kind in {"t_cpu", "t_net"};
+#: returns a multiplicative perturbation applied to that job's predicted
+#: quantity.  Per-job perturbations are what actually mislead the
+#: scheduler — a uniform scale factor cancels out of every comparison.
+ErrorInjector = Callable[[str, str], float]
+
+
+@dataclass(frozen=True)
+class UtilizationVector:
+    """CPU / network utilization pair (Eq. 3 / Eq. 4)."""
+
+    cpu: float
+    net: float
+
+    def weighted_score(self, cpu_weight: float = 0.75) -> float:
+        """Scalar objective: CPU counts more than network because "CPU
+        resources directly contribute to the job progress" (§IV-B2)."""
+        return cpu_weight * self.cpu + (1.0 - cpu_weight) * self.net
+
+    def __iter__(self):
+        yield self.cpu
+        yield self.net
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """Model predictions for one candidate job group."""
+
+    job_ids: tuple[str, ...]
+    m: int
+    t_cpu_sum: float
+    t_net_sum: float
+    t_itr_max: float
+
+    @property
+    def t_group_iteration(self) -> float:
+        """Eq. 1."""
+        return max(self.t_cpu_sum, self.t_net_sum, self.t_itr_max)
+
+    @property
+    def utilization(self) -> UtilizationVector:
+        """Eq. 3."""
+        t_g = self.t_group_iteration
+        if t_g <= 0:
+            return UtilizationVector(0.0, 0.0)
+        return UtilizationVector(cpu=self.t_cpu_sum / t_g,
+                                 net=self.t_net_sum / t_g)
+
+    @property
+    def bound_case(self) -> str:
+        """Which of the Fig. 8 cases dominates: 'cpu', 'net', or 'job'."""
+        t_g = self.t_group_iteration
+        if t_g == self.t_cpu_sum:
+            return "cpu"
+        if t_g == self.t_net_sum:
+            return "net"
+        return "job"
+
+
+class PerfModel:
+    """Predicts group/cluster performance from profiled metrics."""
+
+    def __init__(self, cpu_weight: float = 0.75,
+                 error_injector: Optional[ErrorInjector] = None):
+        self.cpu_weight = cpu_weight
+        self._injector = error_injector
+
+    # -- per-group predictions ----------------------------------------------
+
+    def estimate_group(self, metrics: Sequence[JobMetrics],
+                       m: int) -> GroupEstimate:
+        """Predictions for co-locating ``metrics``'s jobs on ``m``
+        machines."""
+        if m < 1:
+            raise SchedulingError(f"group DoP must be >= 1, got {m}")
+        if not metrics:
+            raise SchedulingError("cannot estimate an empty group")
+        if self._injector is None:
+            t_cpus = [job.t_cpu_at(m) for job in metrics]
+            t_nets = [job.t_net for job in metrics]
+        else:
+            t_cpus = [job.t_cpu_at(m)
+                      * self._injector("t_cpu", job.job_id)
+                      for job in metrics]
+            t_nets = [job.t_net * self._injector("t_net", job.job_id)
+                      for job in metrics]
+        return GroupEstimate(
+            job_ids=tuple(job.job_id for job in metrics),
+            m=m,
+            t_cpu_sum=sum(t_cpus),
+            t_net_sum=sum(t_nets),
+            t_itr_max=max(tc + tn for tc, tn in zip(t_cpus, t_nets)))
+
+    # -- cluster-level aggregation --------------------------------------------
+
+    def cluster_utilization(self, groups: Sequence[GroupEstimate],
+                            total_machines: Optional[int] = None) -> \
+            UtilizationVector:
+        """Eq. 4: machine-weighted average utilization over job groups.
+
+        When ``total_machines`` is given, unallocated machines count as
+        idle — stricter than the paper's Eq. 4 (which averages over
+        groups only) and what a cluster operator actually measures.
+        """
+        if not groups:
+            return UtilizationVector(0.0, 0.0)
+        weight_sum = sum(g.m for g in groups)
+        denominator = total_machines if total_machines is not None \
+            else weight_sum
+        if denominator <= 0:
+            raise SchedulingError("no machines to average over")
+        if weight_sum > denominator:
+            raise SchedulingError(
+                f"groups use {weight_sum} machines, more than "
+                f"{denominator} available")
+        cpu = sum(g.m * g.utilization.cpu for g in groups) / denominator
+        net = sum(g.m * g.utilization.net for g in groups) / denominator
+        return UtilizationVector(cpu, net)
+
+    def score(self, utilization: UtilizationVector) -> float:
+        """Scalar objective used to compare candidate schedules."""
+        return utilization.weighted_score(self.cpu_weight)

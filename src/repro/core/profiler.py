@@ -1,0 +1,112 @@
+"""Runtime profiling (§IV-B1).
+
+"Harmony monitors each job j in each group g and collects runtime
+metrics which consists of the average execution times of CPU and
+Network subtasks and the number of machines allocated to the group
+(T_cpu_j, T_net_j, m_g) ... the profiled metrics of subtasks can be
+meaningfully reused, while being updated using moving averages."
+
+CPU measurements taken at different DoPs are made comparable by
+normalizing to *CPU work* ``W = T_cpu * m`` (Eq. 2), so the moving
+average remains meaningful across regroupings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """The scheduler's view of one job: profiled averages.
+
+    ``cpu_work`` is machine-seconds per iteration; ``t_net`` is the sum
+    of PULL and PUSH subtask seconds (DoP-independent, §IV-B2).
+    """
+
+    job_id: str
+    cpu_work: float
+    t_net: float
+    #: DoP at which the job was last observed.
+    m_observed: int
+    samples: int = 1
+
+    def t_cpu_at(self, m: int) -> float:
+        """Predicted COMP time on ``m`` machines (Eq. 2)."""
+        if m < 1:
+            raise SchedulingError(f"DoP must be >= 1, got {m}")
+        return self.cpu_work / m
+
+    def t_iteration_at(self, m: int) -> float:
+        """Predicted solo iteration time on ``m`` machines."""
+        return self.t_cpu_at(m) + self.t_net
+
+    def comp_comm_ratio_at(self, m: int) -> float:
+        """Computation / communication ratio used by the similar-job
+        search of §IV-B4."""
+        if self.t_net <= 0:
+            return float("inf")
+        return self.t_cpu_at(m) / self.t_net
+
+
+class Profiler:
+    """Moving-average store of per-job metrics."""
+
+    def __init__(self, ema_alpha: float = 0.3):
+        if not 0.0 < ema_alpha <= 1.0:
+            raise SchedulingError(f"ema_alpha {ema_alpha} not in (0, 1]")
+        self.ema_alpha = ema_alpha
+        self._metrics: dict[str, JobMetrics] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record_iteration(self, job_id: str, t_cpu: float, t_net: float,
+                         m: int) -> JobMetrics:
+        """Fold one measured iteration into the job's moving averages.
+
+        ``t_cpu``/``t_net`` are the measured COMP / total-COMM subtask
+        durations of the iteration; ``m`` is the group's machine count.
+        """
+        if t_cpu < 0 or t_net < 0:
+            raise SchedulingError(
+                f"negative measured duration for {job_id}")
+        if m < 1:
+            raise SchedulingError(f"DoP must be >= 1, got {m}")
+        work = t_cpu * m
+        current = self._metrics.get(job_id)
+        if current is None:
+            updated = JobMetrics(job_id=job_id, cpu_work=work, t_net=t_net,
+                                 m_observed=m, samples=1)
+        else:
+            a = self.ema_alpha
+            updated = JobMetrics(
+                job_id=job_id,
+                cpu_work=(1 - a) * current.cpu_work + a * work,
+                t_net=(1 - a) * current.t_net + a * t_net,
+                m_observed=m,
+                samples=current.samples + 1)
+        self._metrics[job_id] = updated
+        return updated
+
+    # -- queries -----------------------------------------------------------
+
+    def has(self, job_id: str) -> bool:
+        return job_id in self._metrics
+
+    def get(self, job_id: str) -> JobMetrics:
+        metrics = self._metrics.get(job_id)
+        if metrics is None:
+            raise SchedulingError(f"job {job_id} has not been profiled")
+        return metrics
+
+    def forget(self, job_id: str) -> None:
+        """Drop a finished job's metrics."""
+        self._metrics.pop(job_id, None)
+
+    def known_jobs(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)

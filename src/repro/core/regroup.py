@@ -1,0 +1,117 @@
+"""Dynamic regrouping helpers (§IV-B4).
+
+When a job finishes, Harmony first tries to repair its group locally:
+find a *similar* waiting job ("the difference of statistics is within
+5%"), then a *bundle* of jobs with equivalent aggregate characteristics,
+and only then escalates to the full scheduling algorithm over a growing
+scope of groups.  These pure functions implement the similarity
+searches; the escalation lives in the master, which owns the groups.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.profiler import JobMetrics
+
+
+def _relative_difference(a: float, b: float) -> float:
+    denominator = max(abs(a), abs(b), 1e-12)
+    return abs(a - b) / denominator
+
+
+def is_similar_job(candidate: JobMetrics, target: JobMetrics, m: int,
+                   threshold: float = 0.05) -> bool:
+    """Whether two jobs match within the paper's 5% tolerance.
+
+    Similarity is judged "in terms of iteration time and comp/comm
+    ratio" at the group's DoP ``m``.
+    """
+    if _relative_difference(candidate.t_iteration_at(m),
+                            target.t_iteration_at(m)) > threshold:
+        return False
+    return _relative_difference(candidate.t_cpu_at(m) + 1e-12,
+                                target.t_cpu_at(m) + 1e-12) <= threshold \
+        or _relative_difference(candidate.comp_comm_ratio_at(m),
+                                target.comp_comm_ratio_at(m)) <= threshold
+
+
+def find_similar_job(candidates: Sequence[JobMetrics],
+                     target: JobMetrics, m: int,
+                     threshold: float = 0.05) -> Optional[JobMetrics]:
+    """The §IV-B4 single-replacement search: the closest candidate
+    within tolerance, or None."""
+    best = None
+    best_distance = None
+    for candidate in candidates:
+        if not is_similar_job(candidate, target, m, threshold):
+            continue
+        distance = (_relative_difference(candidate.t_iteration_at(m),
+                                         target.t_iteration_at(m))
+                    + _relative_difference(
+                        candidate.comp_comm_ratio_at(m),
+                        target.comp_comm_ratio_at(m)))
+        if best_distance is None or distance < best_distance:
+            best_distance = distance
+            best = candidate
+    return best
+
+
+def find_similar_bundle(candidates: Sequence[JobMetrics],
+                        target: JobMetrics, m: int,
+                        threshold: float = 0.05,
+                        max_bundle: int = 4) -> Optional[list[JobMetrics]]:
+    """The §IV-B4 bundle search: a set of jobs "whose the sum of
+    iteration times and the ratio of respective sum of computation and
+    communication times are similar to the finished job".
+
+    Greedy largest-first packing under the CPU/network budgets, then an
+    aggregate tolerance check.  Returns None when no acceptable bundle
+    exists.
+    """
+    target_cpu = target.t_cpu_at(m)
+    target_net = target.t_net
+    budget_cpu = target_cpu * (1.0 + threshold)
+    budget_net = target_net * (1.0 + threshold)
+    bundle: list[JobMetrics] = []
+    total_cpu = 0.0
+    total_net = 0.0
+    for candidate in sorted(candidates,
+                            key=lambda j: j.t_iteration_at(m),
+                            reverse=True):
+        if len(bundle) >= max_bundle:
+            break
+        if (total_cpu + candidate.t_cpu_at(m) <= budget_cpu
+                and total_net + candidate.t_net <= budget_net):
+            bundle.append(candidate)
+            total_cpu += candidate.t_cpu_at(m)
+            total_net += candidate.t_net
+    if len(bundle) < 2:
+        return None  # a single job is the find_similar_job case
+    if (_relative_difference(total_cpu, target_cpu) > threshold
+            or _relative_difference(total_net, target_net) > threshold):
+        return None
+    return bundle
+
+
+def prefer_fewer_jobs(plans: Sequence[tuple[int, float]],
+                      preference: float = 0.05) -> Optional[int]:
+    """Pick among (scope_size, predicted_score) candidates.
+
+    "It compares their predicted performance and selects the grouping
+    decision with smaller number of jobs, if the performance improvement
+    of decisions with more number of jobs is less than 5%."  Returns the
+    index of the chosen plan, or None for an empty sequence.
+    """
+    if not plans:
+        return None
+    chosen = 0
+    for index in range(1, len(plans)):
+        size, score = plans[index]
+        chosen_size, chosen_score = plans[chosen]
+        if size <= chosen_size:
+            if score >= chosen_score:
+                chosen = index
+        elif score > chosen_score * (1.0 + preference):
+            chosen = index
+    return chosen

@@ -1,0 +1,258 @@
+"""End-to-end Harmony runs on the simulated cluster.
+
+:class:`HarmonyRuntime` wires a simulator, a cluster, and a
+:class:`~repro.core.master.HarmonyMaster` together, submits a workload,
+runs it to completion, and returns a :class:`RunResult` with everything
+the evaluation section measures: per-job JCTs, makespan, utilization
+timelines, group shapes, alpha statistics, and the performance model's
+prediction errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.config import DEFAULT_SIM_CONFIG, SimConfig
+from repro.core.job import Job, JobState
+from repro.core.master import HarmonyMaster
+from repro.core.perfmodel import PerfModel
+from repro.errors import SimulationError
+from repro.metrics.utilization import ClusterUsageRecorder
+from repro.metrics.timeline import Timeline
+from repro.sim import RandomStreams, Simulator
+from repro.workloads.apps import JobSpec
+from repro.workloads.costmodel import CostModel
+
+
+@dataclass
+class JobOutcome:
+    """Terminal record of one job."""
+
+    job_id: str
+    state: JobState
+    submit_time: float
+    finish_time: Optional[float]
+    migrations: int
+
+    @property
+    def jct(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one scheduler run."""
+
+    scheduler_name: str
+    total_machines: int
+    outcomes: dict[str, JobOutcome]
+    recorder: ClusterUsageRecorder
+    migration_overhead_seconds: float = 0.0
+    group_shape_log: list[tuple[float, int, int]] = field(
+        default_factory=list)
+    #: Every CycleRecord observed across all groups, in no fixed order.
+    _all_cycles: list = field(default_factory=list, repr=False)
+    alpha_samples: list[float] = field(default_factory=list)
+    gc_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    # -- headline numbers -------------------------------------------------
+
+    @property
+    def finished(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes.values()
+                if o.state is JobState.FINISHED]
+
+    @property
+    def failed(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes.values()
+                if o.state is JobState.FAILED]
+
+    @property
+    def jcts(self) -> list[float]:
+        return [o.jct for o in self.finished if o.jct is not None]
+
+    @property
+    def mean_jct(self) -> float:
+        jcts = self.jcts
+        if not jcts:
+            raise SimulationError("no finished jobs to average")
+        return float(np.mean(jcts))
+
+    @property
+    def makespan(self) -> float:
+        """Completion of the last job, from the first submission."""
+        finished = self.finished
+        if not finished:
+            raise SimulationError("no finished jobs: makespan undefined")
+        start = min(o.submit_time for o in self.outcomes.values())
+        return max(o.finish_time for o in finished) - start
+
+    # -- utilization ---------------------------------------------------------
+
+    def utilization_timeline(self, which: str) -> Timeline:
+        return self.recorder.utilization_timeline(which, self.makespan)
+
+    def average_utilization(self, which: str) -> float:
+        return self.recorder.average_utilization(which, self.makespan)
+
+    # -- model accuracy (Fig. 13b) ----------------------------------------------
+
+    def prediction_errors(self) -> dict[str, list[float]]:
+        t_errors = []
+        u_errors = []
+        for decision in self.recorder.decisions:
+            t_error = decision.t_group_error()
+            if t_error is not None:
+                t_errors.append(t_error)
+            u_error = decision.u_error()
+            if u_error is not None:
+                u_errors.append(u_error)
+        return {"t_group": t_errors, "utilization": u_errors}
+
+    # -- concurrency (§V-C's "27.2 concurrent jobs ... 6.7 job groups") -------
+
+    def mean_concurrent_jobs(self) -> float:
+        """Time-average number of actively iterating jobs.
+
+        Each completed cycle occupies one job for its duration, so the
+        mean concurrency is the total cycle time divided by the makespan.
+        """
+        total_cycle_seconds = sum(
+            c.duration for c in self._all_cycles)
+        span = self.makespan
+        return total_cycle_seconds / span if span > 0 else 0.0
+
+    def mean_concurrent_groups(self) -> float:
+        """Time-average number of live job groups."""
+        total_group_seconds = sum(
+            usage.t_end - usage.t_start
+            for usage in self.recorder.finished_groups)
+        span = self.makespan
+        return total_group_seconds / span if span > 0 else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"scheduler={self.scheduler_name}",
+            f"jobs: {len(self.finished)} finished, {len(self.failed)} "
+            f"failed, {len(self.outcomes)} total",
+            f"mean JCT: {self.mean_jct / 60:.1f} min",
+            f"makespan: {self.makespan / 60:.1f} min",
+            f"avg CPU util: {self.average_utilization('cpu'):.1%}",
+            f"avg net util: {self.average_utilization('net'):.1%}",
+        ]
+        return "\n".join(lines)
+
+
+class HarmonyRuntime:
+    """One Harmony experiment: workload in, RunResult out."""
+
+    def __init__(self, n_machines: int, workload: Sequence[JobSpec],
+                 config: SimConfig = DEFAULT_SIM_CONFIG,
+                 perf_model: Optional[PerfModel] = None,
+                 cost_model: Optional[CostModel] = None,
+                 scheduler_factory=None,
+                 scheduler_name: str = "harmony",
+                 failure_times: Optional[Sequence[float]] = None):
+        self.config = config
+        self.sim = Simulator()
+        self.cluster = Cluster(n_machines, config.machine)
+        self.cost_model = cost_model if cost_model is not None \
+            else CostModel(config.machine)
+        self.streams = RandomStreams(config.seed)
+        self.recorder = ClusterUsageRecorder(
+            n_machines, bin_seconds=config.utilization_bin_seconds)
+        self.master = HarmonyMaster(self.sim, self.cluster,
+                                    self.cost_model, config, self.streams,
+                                    self.recorder, perf_model=perf_model,
+                                    scheduler_factory=scheduler_factory)
+        self.workload = list(workload)
+        self.scheduler_name = scheduler_name
+        self.failure_times = sorted(failure_times or [])
+
+    def _fail_random_machine(self) -> None:
+        """Kill a uniformly chosen allocated machine (§VI failures)."""
+        rng = self.streams.stream("machine-failures")
+        allocated = [m.machine_id for m in self.cluster.machines
+                     if self.cluster.owner_of(m.machine_id) is not None]
+        if not allocated:
+            return  # nothing running; the failure hits a free machine
+        victim = int(allocated[rng.integers(0, len(allocated))])
+        self.master.inject_machine_failure(victim)
+
+    def _pacer(self):
+        """Drives the master's periodic utilization check (§IV-B2) until
+        the whole workload has been submitted and has terminated.
+
+        Also the deadlock watchdog: if nothing is executing and nothing
+        can start (e.g. a job that fits on no machine count), the pacer
+        stops instead of keeping the simulation alive forever; run()
+        then reports the stuck jobs loudly.
+        """
+        interval = self.config.scheduler.reschedule_check_seconds
+        total = len(self.workload)
+        while True:
+            yield self.sim.timeout(interval)
+            self.master.periodic_check()
+            if len(self.master.jobs) >= total and self.master.all_done:
+                return
+            if (len(self.master.jobs) >= total
+                    and not self.master.groups
+                    and self.master._rebuild is None):
+                # Everything submitted, nothing running, and the pump
+                # could not place anything: give up rather than spin.
+                return
+
+    def run(self, max_sim_seconds: Optional[float] = None,
+            max_events: Optional[int] = None) -> RunResult:
+        """Submit the workload and simulate until every job terminates."""
+        import time as _time
+        wall_start = _time.perf_counter()
+        for spec in self.workload:
+            self.sim.call_at(spec.submit_time,
+                             lambda s=spec: self.master.submit(s))
+        for when in self.failure_times:
+            self.sim.call_at(when, self._fail_random_machine)
+        self.sim.spawn(self._pacer(), name="periodic-reschedule")
+        self.sim.run(until=max_sim_seconds, max_events=max_events)
+
+        stuck = [job for job in self.master.jobs.values()
+                 if not job.is_done]
+        if stuck and max_sim_seconds is None and max_events is None:
+            states = {job.job_id: job.state.value for job in stuck[:10]}
+            raise SimulationError(
+                f"simulation drained with {len(stuck)} unfinished jobs "
+                f"(first few: {states})")
+
+        # Collect per-job outcomes and close open groups.
+        all_cycles = list(self.master.finished_cycles)
+        for group in self.master.groups.values():
+            all_cycles.extend(group.cycles)
+        self.recorder.finish(self.sim.now)
+
+        outcomes = {
+            job.job_id: JobOutcome(job_id=job.job_id, state=job.state,
+                                   submit_time=job.submit_time,
+                                   finish_time=job.finish_time,
+                                   migrations=job.migrations)
+            for job in self.master.jobs.values()}
+        return RunResult(
+            scheduler_name=self.scheduler_name,
+            total_machines=self.cluster.size,
+            outcomes=outcomes,
+            recorder=self.recorder,
+            migration_overhead_seconds=(
+                self.master.migration_overhead_seconds),
+            group_shape_log=list(self.master.group_shape_log),
+            _all_cycles=all_cycles,
+            alpha_samples=[c.alpha for c in all_cycles],
+            gc_seconds=sum(c.gc_overhead for c in all_cycles),
+            stall_seconds=sum(c.stall for c in all_cycles),
+            wall_seconds=_time.perf_counter() - wall_start)

@@ -1,0 +1,232 @@
+"""Algorithm 1: Harmony's job scheduling algorithm (§IV-B3).
+
+Starting from the profiled/paused/running jobs, the scheduler grows the
+considered job set one job at a time.  For each candidate set it (L6)
+picks the group count ``n_G*`` that best balances CPU and network use
+under the equal-DoP assumption (``m_g = M / n_G``, so ``T_cpu ∝ n_G``),
+(L7) assigns jobs to groups, (L8) allocates machines, and keeps the
+resulting grouping while the predicted cluster utilization improves
+(L10-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.config import SchedulerConfig
+from repro.core.allocation import MemoryFloorFn, allocate_machines
+from repro.core.grouping import assign_jobs
+from repro.core.perfmodel import GroupEstimate, PerfModel, UtilizationVector
+from repro.core.profiler import JobMetrics
+from repro.errors import SchedulingError
+
+#: DoP at which jobs are ordered before the prefix loop (the paper's
+#: characterization DoP; the ordering only needs to be stable).
+_ORDERING_DOP = 16
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """One job group of a schedule decision."""
+
+    job_ids: tuple[str, ...]
+    n_machines: int
+    estimate: GroupEstimate
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_ids)
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """A full scheduling decision: groups, machines, predicted value."""
+
+    groups: tuple[GroupPlan, ...]
+    utilization: UtilizationVector
+    score: float
+    total_machines: int
+
+    @property
+    def scheduled_job_ids(self) -> frozenset[str]:
+        return frozenset(job_id for group in self.groups
+                         for job_id in group.job_ids)
+
+    @property
+    def machines_used(self) -> int:
+        return sum(group.n_machines for group in self.groups)
+
+    def describe(self) -> str:
+        lines = [f"SchedulePlan: {len(self.groups)} groups, "
+                 f"{self.machines_used}/{self.total_machines} machines, "
+                 f"U_cpu={self.utilization.cpu:.2f} "
+                 f"U_net={self.utilization.net:.2f}"]
+        for index, group in enumerate(self.groups):
+            lines.append(
+                f"  group[{index}] m={group.n_machines} "
+                f"jobs={list(group.job_ids)} "
+                f"T_g={group.estimate.t_group_iteration:.1f}s "
+                f"({group.estimate.bound_case}-bound)")
+        return "\n".join(lines)
+
+
+def _prefix_sizes(n: int):
+    """Candidate-set sizes for Algorithm 1's outer loop.
+
+    Exhaustive (1, 2, ..., n) for small pools; geometric growth beyond
+    64 jobs so that scheduling thousands of jobs stays sub-second while
+    the early-break behaviour is unchanged (§V-F scalability).
+    """
+    size = 1
+    last = 0
+    while size <= n:
+        yield size
+        last = size
+        size += 1 if size < 64 else max(1, size // 8)
+    if last != n and n > 0:
+        yield n
+
+
+class HarmonyScheduler:
+    """Implements Algorithm 1 plus the n_G* search of L6."""
+
+    def __init__(self, perf_model: Optional[PerfModel] = None,
+                 config: Optional[SchedulerConfig] = None,
+                 memory_floor: Optional[MemoryFloorFn] = None):
+        self.config = config if config is not None else SchedulerConfig()
+        self.perf_model = perf_model if perf_model is not None \
+            else PerfModel(cpu_weight=self.config.cpu_weight)
+        self.memory_floor = memory_floor
+
+    # -- Algorithm 1 ---------------------------------------------------------
+
+    def schedule(self, jobs: Sequence[JobMetrics],
+                 total_machines: int) -> Optional[SchedulePlan]:
+        """The ``schedule`` function of Algorithm 1.
+
+        Returns the best plan found, or None when no job can be placed
+        (e.g. nothing fits in memory).
+        """
+        if total_machines < 1:
+            raise SchedulingError(
+                f"total_machines must be >= 1, got {total_machines}")
+        if not jobs:
+            return None
+        ordered = self._admission_order(jobs)
+        best: Optional[SchedulePlan] = None
+        no_improvement = 0
+        for n_jobs in _prefix_sizes(len(ordered)):
+            candidate_jobs = ordered[:n_jobs]
+            plan = self._plan_for(candidate_jobs, total_machines)
+            if plan is None:
+                if best is not None:
+                    break  # adding jobs stopped being feasible
+                continue
+            if best is None or plan.score > best.score:
+                best = plan
+                no_improvement = 0
+            else:
+                # L12-13: stop growing once utilization stops improving
+                # (with a small patience for discrete n_G* bumps).
+                no_improvement += 1
+                if no_improvement > self.config.schedule_patience:
+                    break
+        return best
+
+    def _admission_order(self, jobs: Sequence[JobMetrics]) -> \
+            list[JobMetrics]:
+        """Order in which the L4 prefix loop considers jobs.
+
+        The paper does not pin J_to_sched's order; see
+        ``SchedulerConfig.admission_order`` for the choices.
+        """
+        ascending = sorted(jobs,
+                           key=lambda j: j.t_iteration_at(_ORDERING_DOP))
+        order = self.config.admission_order
+        if order == "sjf":
+            return ascending
+        if order == "ljf":
+            return list(reversed(ascending))
+        if order == "interleave":
+            result = []
+            low, high = 0, len(ascending) - 1
+            take_long = True
+            while low <= high:
+                if take_long:
+                    result.append(ascending[high])
+                    high -= 1
+                else:
+                    result.append(ascending[low])
+                    low += 1
+                take_long = not take_long
+            return result
+        if order == "critical":
+            # The handful of longest jobs define the makespan's critical
+            # path and must start early; everything else goes shortest-
+            # first so completions front-load (short mean JCT).
+            n_critical = max(1, len(ascending) // 10)
+            critical = ascending[len(ascending) - n_critical:]
+            rest = ascending[:len(ascending) - n_critical]
+            return list(reversed(critical)) + rest
+        raise SchedulingError(f"unknown admission order {order!r}")
+
+    def _plan_for(self, jobs: Sequence[JobMetrics],
+                  total_machines: int) -> Optional[SchedulePlan]:
+        """One iteration of the L4-L13 loop body for a fixed job set."""
+        n_groups = self._pick_group_count(jobs, total_machines)
+        groups = assign_jobs(jobs, n_groups,
+                             m_ref=max(1, total_machines // n_groups),
+                             max_swap_passes=self.config.max_swap_passes)
+        allocation = allocate_machines(groups, total_machines,
+                                       self.memory_floor)
+        if allocation is None:
+            return None
+        return self.build_plan(groups, allocation, total_machines)
+
+    def build_plan(self, groups: Sequence[Sequence[JobMetrics]],
+                   allocation: Sequence[int],
+                   total_machines: int) -> SchedulePlan:
+        """Assemble and score a plan from explicit groups/allocation."""
+        estimates = [self.perf_model.estimate_group(group, m)
+                     for group, m in zip(groups, allocation)]
+        utilization = self.perf_model.cluster_utilization(
+            estimates, total_machines=total_machines)
+        plans = tuple(GroupPlan(job_ids=e.job_ids, n_machines=m, estimate=e)
+                      for e, m in zip(estimates, allocation))
+        return SchedulePlan(groups=plans, utilization=utilization,
+                            score=self.perf_model.score(utilization),
+                            total_machines=total_machines)
+
+    # -- L6: the group-count search ---------------------------------------------
+
+    def _pick_group_count(self, jobs: Sequence[JobMetrics],
+                          total_machines: int) -> int:
+        """n_G* = argmin_nG Σ_j |T_cpu_j(n_G) − T_net_j|  (L6).
+
+        Under the equal-DoP assumption ``m_g = M / n_G``, so
+        ``T_cpu_j(n_G) = W_j · n_G / M``.
+        """
+        min_groups = max(
+            1, -(-len(jobs) // self.config.max_jobs_per_group))
+        max_groups = min(len(jobs), total_machines)
+        if min_groups > max_groups:
+            min_groups = max_groups
+
+        def cost(n_g: int) -> float:
+            scale = n_g / total_machines
+            return sum(abs(job.cpu_work * scale - job.t_net)
+                       for job in jobs)
+
+        # cost(n_g) = Σ|W_j · n_g / M − T_net_j| is convex in n_g, so a
+        # ternary search finds the minimum in O(log M) evaluations —
+        # needed for the §V-F scale (thousands of jobs and machines).
+        low, high = min_groups, max_groups
+        while high - low > 2:
+            mid1 = low + (high - low) // 3
+            mid2 = high - (high - low) // 3
+            if cost(mid1) < cost(mid2):
+                high = mid2 - 1
+            else:
+                low = mid1 + 1
+        return min(range(low, high + 1), key=cost)

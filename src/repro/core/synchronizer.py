@@ -1,0 +1,73 @@
+"""The SubTask Synchronizer (Fig. 7, §IV-A).
+
+"The subtask synchronizer in the master manages the state of the
+distributed job subtasks across multiple workers, to synchronize the
+overall progress of the job": when a worker completes a COMM subtask,
+the next COMP subtask is enqueued only after *every* worker's COMM
+subtask of that step is complete.
+
+This is the thread-based implementation used by the local runtime; the
+cluster simulator models the same barrier analytically (the
+``barrier_overhead`` factor).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core.subtask import SubTaskKind
+from repro.errors import SimulationError
+
+
+class SubTaskSynchronizer:
+    """Per-(job, iteration, step) barriers across a job's workers."""
+
+    def __init__(self, timeout: float = 60.0):
+        self._condition = threading.Condition()
+        self._arrived: dict[tuple[str, int, SubTaskKind], int] = {}
+        self._expected: dict[str, int] = {}
+        self._timeout = timeout
+
+    def register_job(self, job_id: str, n_workers: int) -> None:
+        if n_workers < 1:
+            raise SimulationError(f"job {job_id}: need >= 1 worker")
+        with self._condition:
+            self._expected[job_id] = n_workers
+
+    def unregister_job(self, job_id: str) -> None:
+        with self._condition:
+            self._expected.pop(job_id, None)
+            for key in [k for k in self._arrived if k[0] == job_id]:
+                del self._arrived[key]
+
+    def arrive(self, job_id: str, iteration: int,
+               kind: SubTaskKind) -> None:
+        """Block until all of the job's workers complete this step."""
+        key = (job_id, iteration, kind)
+        with self._condition:
+            expected = self._expected.get(job_id)
+            if expected is None:
+                raise SimulationError(f"job {job_id} is not registered")
+            self._arrived[key] = self._arrived.get(key, 0) + 1
+            if self._arrived[key] > expected:
+                raise SimulationError(
+                    f"{key}: more arrivals than workers ({expected})")
+            self._condition.notify_all()
+            done = self._condition.wait_for(
+                lambda: self._arrived.get(key, 0) >= expected
+                or job_id not in self._expected,
+                timeout=self._timeout)
+            if not done:
+                raise SimulationError(
+                    f"barrier timeout at {key}: "
+                    f"{self._arrived.get(key, 0)}/{expected} arrived")
+
+    def pending(self, job_id: str) -> Optional[int]:
+        """Number of open barriers for a job (diagnostics)."""
+        with self._condition:
+            if job_id not in self._expected:
+                return None
+            expected = self._expected[job_id]
+            return sum(1 for key, count in self._arrived.items()
+                       if key[0] == job_id and count < expected)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the Harmony reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProcessKilled(ReproError):
+    """Raised inside a simulated process that has been killed externally."""
+
+
+class ResourceError(SimulationError):
+    """Invalid resource operation (double release, unknown handle, ...)."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster operation (allocating unavailable machines, ...)."""
+
+
+class OutOfMemoryError(ReproError):
+    """A machine's memory capacity was exceeded (the paper's OOM failure).
+
+    Carries enough context to report which jobs were co-located when the
+    failure happened, mirroring Fig. 4 of the paper.
+    """
+
+    def __init__(self, message: str, job_ids: tuple[str, ...] = (),
+                 resident_gb: float = 0.0, capacity_gb: float = 0.0):
+        super().__init__(message)
+        self.job_ids = job_ids
+        self.resident_gb = resident_gb
+        self.capacity_gb = capacity_gb
+
+
+class SchedulingError(ReproError):
+    """The scheduler produced or received an invalid decision."""
+
+
+class JobStateError(ReproError):
+    """An operation was applied to a job in an incompatible state."""
+
+
+class PSError(ReproError):
+    """Parameter-server protocol violation (unknown key, shape mismatch...)."""
+
+
+class ConvergenceError(ReproError):
+    """A training run failed to make progress (diverged or NaN loss)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""

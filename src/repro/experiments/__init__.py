@@ -1,0 +1,51 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes a ``run(...)`` function returning a structured
+result plus a ``report(result)`` renderer that prints the same
+rows/series the paper shows.  DESIGN.md maps each driver to its paper
+exhibit; EXPERIMENTS.md records paper-vs-measured numbers.
+"""
+
+from repro.experiments import (
+    ablation,
+    common,
+    design_ablations,
+    extensions,
+    fig02_single_job,
+    fig03_dop_sweep,
+    fig04_naive_colocation,
+    fig09_workload_cdf,
+    fig10_main,
+    fig11_util_timeline,
+    fig12_group_distributions,
+    fig13_model_accuracy,
+    fig14_oracle,
+    granularity_validation,
+    local_validation,
+    reloading,
+    scalability,
+    sensitivity_arrival,
+    sensitivity_ratio,
+)
+
+__all__ = [
+    "ablation",
+    "common",
+    "design_ablations",
+    "extensions",
+    "fig02_single_job",
+    "fig03_dop_sweep",
+    "fig04_naive_colocation",
+    "fig09_workload_cdf",
+    "fig10_main",
+    "fig11_util_timeline",
+    "fig12_group_distributions",
+    "fig13_model_accuracy",
+    "fig14_oracle",
+    "granularity_validation",
+    "local_validation",
+    "reloading",
+    "scalability",
+    "sensitivity_arrival",
+    "sensitivity_ratio",
+]

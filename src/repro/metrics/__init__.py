@@ -1,0 +1,23 @@
+"""Measurement: utilization timelines, run statistics, paper-style reports."""
+
+from repro.metrics.stats import cdf_points, mean, percentile, speedup
+from repro.metrics.timeline import Timeline, bin_segments
+from repro.metrics.utilization import (
+    ClusterUsageRecorder,
+    DecisionRecord,
+    GroupUsage,
+)
+from repro.metrics.reporting import format_table
+
+__all__ = [
+    "ClusterUsageRecorder",
+    "DecisionRecord",
+    "GroupUsage",
+    "Timeline",
+    "bin_segments",
+    "cdf_points",
+    "format_table",
+    "mean",
+    "percentile",
+    "speedup",
+]

@@ -1,0 +1,45 @@
+"""Plain-text report rendering for the experiment drivers.
+
+Every experiment prints the rows/series the paper reports; this module
+keeps the formatting consistent (and testable) across them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}")
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in cells))
+              if cells else len(headers[i]) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_comparison(name: str, paper_value: float, measured: float,
+                      unit: str = "x") -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md-style reporting."""
+    return (f"{name}: paper={paper_value:.2f}{unit} "
+            f"measured={measured:.2f}{unit}")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

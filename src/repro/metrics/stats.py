@@ -1,0 +1,39 @@
+"""Small statistics helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (reports stay total)."""
+    return float(np.mean(values)) if len(values) else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100)."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(values, q))
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """Speedup of ``measured`` relative to ``baseline`` (>1 is faster)."""
+    if measured <= 0:
+        raise ValueError(f"non-positive measurement {measured}")
+    return baseline / measured
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative fractions).
+
+    The y-values step from 1/n to 1.0, matching the "cumulative
+    distribution" axes of Figs. 9 and 12.
+    """
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        return array, array
+    fractions = np.arange(1, array.size + 1, dtype=float) / array.size
+    return array, fractions

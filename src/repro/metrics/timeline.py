@@ -1,0 +1,76 @@
+"""Binned time-series built from resource busy segments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.resources import BusySegment
+
+
+def bin_segments(segments: Iterable[BusySegment], t_end: float,
+                 bin_seconds: float, t_start: float = 0.0,
+                 weight: float = 1.0) -> np.ndarray:
+    """Integrate utilization segments into fixed-width bins.
+
+    Returns, per bin, the average level times ``weight`` (e.g. the
+    machine count the segments represent).  Bins cover
+    ``[t_start, t_end)``.
+    """
+    if bin_seconds <= 0:
+        raise ValueError(f"bin width must be positive, got {bin_seconds}")
+    span = max(0.0, t_end - t_start)
+    n_bins = max(1, int(np.ceil(span / bin_seconds)))
+    acc = np.zeros(n_bins)
+    for segment in segments:
+        lo = max(segment.start, t_start)
+        hi = min(segment.end, t_end)
+        if hi <= lo or segment.level <= 0:
+            continue
+        first = int((lo - t_start) // bin_seconds)
+        last = int(np.ceil((hi - t_start) / bin_seconds))
+        for index in range(first, min(last, n_bins)):
+            bin_lo = t_start + index * bin_seconds
+            bin_hi = bin_lo + bin_seconds
+            overlap = min(hi, bin_hi) - max(lo, bin_lo)
+            if overlap > 0:
+                acc[index] += overlap * segment.level * weight
+    return acc / bin_seconds
+
+
+@dataclass
+class Timeline:
+    """A binned utilization time series (Fig. 11-style)."""
+
+    bin_seconds: float
+    values: np.ndarray
+    label: str = ""
+
+    @property
+    def times_minutes(self) -> np.ndarray:
+        """Bin start times in minutes (the paper's Fig. 11 x-axis)."""
+        return np.arange(len(self.values)) * self.bin_seconds / 60.0
+
+    def average(self) -> float:
+        return float(np.mean(self.values)) if len(self.values) else 0.0
+
+    def average_until(self, t_seconds: float) -> float:
+        """Average over bins that start before ``t_seconds`` (e.g. the
+        makespan, so the post-completion tail does not dilute)."""
+        n = max(1, int(np.ceil(t_seconds / self.bin_seconds)))
+        head = self.values[:n]
+        return float(np.mean(head)) if len(head) else 0.0
+
+
+def downsample(values: Sequence[float], factor: int) -> np.ndarray:
+    """Average consecutive groups of ``factor`` values (plot helper)."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    array = np.asarray(values, dtype=float)
+    if factor == 1 or array.size == 0:
+        return array
+    pad = (-array.size) % factor
+    padded = np.concatenate([array, np.full(pad, np.nan)])
+    return np.nanmean(padded.reshape(-1, factor), axis=1)

@@ -1,0 +1,135 @@
+"""Cluster-wide usage recording.
+
+Each job group's CPU and network resources record busy segments while
+the group lives; :class:`ClusterUsageRecorder` keeps those segments
+(weighted by the group's machine count) after teardown and renders
+cluster utilization timelines and averages — the measurements behind
+Figs. 10–14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.timeline import Timeline, bin_segments
+from repro.sim.resources import BusySegment, RateResource
+
+
+@dataclass
+class GroupUsage:
+    """Frozen usage of one group over one placement interval."""
+
+    group_id: str
+    n_machines: int
+    t_start: float
+    t_end: float
+    cpu_segments: list[BusySegment]
+    net_segments: list[BusySegment]
+
+    def busy_fraction(self, which: str) -> float:
+        """Average busy level over the placement interval."""
+        segments = self.cpu_segments if which == "cpu" else self.net_segments
+        span = self.t_end - self.t_start
+        if span <= 0:
+            return 0.0
+        busy = sum(s.duration * s.level for s in segments
+                   if s.end > self.t_start and s.start < self.t_end)
+        return busy / span
+
+
+@dataclass
+class DecisionRecord:
+    """One scheduling decision: predictions vs. eventual measurements.
+
+    Filled in by the runtime to evaluate the performance model's
+    accuracy (Fig. 13b): prediction error of the group iteration time
+    ``T_g_itr`` and of the cluster utilization ``U``.
+    """
+
+    time: float
+    group_id: str
+    n_machines: int
+    job_ids: tuple[str, ...]
+    predicted_t_group: float
+    predicted_u_cpu: float
+    predicted_u_net: float
+    measured_t_group: Optional[float] = None
+    measured_u_cpu: Optional[float] = None
+    measured_u_net: Optional[float] = None
+
+    def t_group_error(self) -> Optional[float]:
+        if not self.measured_t_group or self.predicted_t_group <= 0:
+            return None
+        return abs(self.predicted_t_group - self.measured_t_group) \
+            / self.measured_t_group
+
+    def u_error(self) -> Optional[float]:
+        if self.measured_u_cpu is None or self.measured_u_net is None:
+            return None
+        measured = self.measured_u_cpu + self.measured_u_net
+        if measured < 0.2:
+            return None  # epoch too idle/short to be a meaningful sample
+        predicted = self.predicted_u_cpu + self.predicted_u_net
+        return abs(predicted - measured) / measured
+
+
+class ClusterUsageRecorder:
+    """Accumulates group usage and job events for a whole run."""
+
+    def __init__(self, total_machines: int, bin_seconds: float = 60.0):
+        self.total_machines = total_machines
+        self.bin_seconds = bin_seconds
+        self.finished_groups: list[GroupUsage] = []
+        self._live: dict[str, tuple[int, float, RateResource,
+                                    RateResource]] = {}
+        self.decisions: list[DecisionRecord] = []
+
+    # -- group lifecycle -----------------------------------------------------
+
+    def group_started(self, group_id: str, n_machines: int, t_start: float,
+                      cpu: RateResource, net: RateResource) -> None:
+        if group_id in self._live:
+            raise ValueError(f"group {group_id} already live")
+        self._live[group_id] = (n_machines, t_start, cpu, net)
+
+    def group_stopped(self, group_id: str, t_end: float) -> GroupUsage:
+        n_machines, t_start, cpu, net = self._live.pop(group_id)
+        cpu.close_segments()
+        net.close_segments()
+        usage = GroupUsage(group_id=group_id, n_machines=n_machines,
+                           t_start=t_start, t_end=t_end,
+                           cpu_segments=list(cpu.segments),
+                           net_segments=list(net.segments))
+        self.finished_groups.append(usage)
+        return usage
+
+    def finish(self, t_end: float) -> None:
+        """Close any still-live groups at the end of a run."""
+        for group_id in list(self._live):
+            self.group_stopped(group_id, t_end)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def utilization_timeline(self, which: str, t_end: float) -> Timeline:
+        """Cluster utilization over time: busy machine-fraction per bin.
+
+        ``which`` is ``"cpu"`` or ``"net"``.  The denominator is the
+        full cluster, so unallocated machines count as idle.
+        """
+        total = np.zeros(max(1, int(np.ceil(t_end / self.bin_seconds))))
+        for usage in self.finished_groups:
+            segments = usage.cpu_segments if which == "cpu" \
+                else usage.net_segments
+            contribution = bin_segments(segments, t_end, self.bin_seconds,
+                                        weight=usage.n_machines)
+            total[:len(contribution)] += contribution[:len(total)]
+        return Timeline(bin_seconds=self.bin_seconds,
+                        values=total / self.total_machines,
+                        label=which)
+
+    def average_utilization(self, which: str, t_end: float) -> float:
+        """Machine-weighted average utilization over [0, t_end)."""
+        return self.utilization_timeline(which, t_end).average_until(t_end)

@@ -1,0 +1,35 @@
+"""Real implementations of the paper's four ML applications.
+
+Multinomial logistic regression (MLR), Lasso regression, non-negative
+matrix factorization (NMF), and latent Dirichlet allocation (LDA) — the
+Table I workloads — implemented on numpy with the PS-friendly
+gradient/delta interface of :class:`~repro.ml.base.PSTrainable`, plus
+synthetic dataset generators standing in for the paper's datasets.
+"""
+
+from repro.ml.base import PSTrainable, TrainState
+from repro.ml.convergence import ConvergenceTracker
+from repro.ml.datasets import (
+    make_classification,
+    make_documents,
+    make_ratings,
+    make_regression,
+)
+from repro.ml.lasso import LassoModel
+from repro.ml.lda import LDAModel
+from repro.ml.mlr import MLRModel
+from repro.ml.nmf import NMFModel
+
+__all__ = [
+    "ConvergenceTracker",
+    "LDAModel",
+    "LassoModel",
+    "MLRModel",
+    "NMFModel",
+    "PSTrainable",
+    "TrainState",
+    "make_classification",
+    "make_documents",
+    "make_ratings",
+    "make_regression",
+]

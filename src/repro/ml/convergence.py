@@ -1,0 +1,65 @@
+"""Objective tracking and convergence detection.
+
+"We monitor the objective value (e.g., log-likelihood for LDA, and
+L2-loss for NMF/MLR/Lasso) at the end of every epoch and determine the
+convergence by comparing the objective value with the pre-defined
+threshold" (§V-B).  A relative-improvement plateau test is provided as
+well, since absolute thresholds are model-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConvergenceError
+
+
+class ConvergenceTracker:
+    """Tracks an objective that should decrease over epochs."""
+
+    def __init__(self, threshold: Optional[float] = None,
+                 relative_tolerance: float = 1e-3, patience: int = 3,
+                 max_epochs: int = 10_000):
+        if patience < 1:
+            raise ConvergenceError("patience must be >= 1")
+        self.threshold = threshold
+        self.relative_tolerance = relative_tolerance
+        self.patience = patience
+        self.max_epochs = max_epochs
+        self.history: list[float] = []
+        self._stalled = 0
+
+    @property
+    def epochs(self) -> int:
+        return len(self.history)
+
+    @property
+    def best(self) -> float:
+        if not self.history:
+            raise ConvergenceError("no objective recorded yet")
+        return min(self.history)
+
+    def record(self, objective: float) -> bool:
+        """Record one epoch's objective; True when converged.
+
+        Divergence (NaN/inf) raises immediately — silent NaNs corrupt
+        every later decision.
+        """
+        if objective != objective or objective in (float("inf"),
+                                                   float("-inf")):
+            raise ConvergenceError(
+                f"objective diverged at epoch {self.epochs}: {objective}")
+        previous_best = min(self.history) if self.history else None
+        self.history.append(objective)
+        if self.threshold is not None and objective <= self.threshold:
+            return True
+        if previous_best is not None:
+            improvement = (previous_best - objective) \
+                / max(abs(previous_best), 1e-12)
+            if improvement < self.relative_tolerance:
+                self._stalled += 1
+            else:
+                self._stalled = 0
+            if self._stalled >= self.patience:
+                return True
+        return self.epochs >= self.max_epochs

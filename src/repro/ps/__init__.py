@@ -1,0 +1,25 @@
+"""A real, in-process Parameter-Server (§II-A substrate).
+
+Servers each hold a partition of the model parameters; workers iterate
+PULL -> COMP -> PUSH through :class:`PSClient`, synchronizing at clock
+barriers (synchronous training — the paper sets Bösen's staleness to 0).
+Everything runs in one process with genuine threads, locks, and byte
+accounting, so the subtask decomposition of §IV-A can be exercised for
+real in :mod:`repro.core.local_runtime` and the examples.
+"""
+
+from repro.ps.client import PSClient
+from repro.ps.kvstore import KVStore
+from repro.ps.partition import RangePartitioner
+from repro.ps.serialization import payload_bytes
+from repro.ps.server import PSServer
+from repro.ps.transport import InProcessTransport
+
+__all__ = [
+    "InProcessTransport",
+    "KVStore",
+    "PSClient",
+    "PSServer",
+    "RangePartitioner",
+    "payload_bytes",
+]

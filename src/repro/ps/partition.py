@@ -1,0 +1,50 @@
+"""Model partitioning across PS servers.
+
+The paper co-locates one server per machine and partitions the model
+evenly (§II-A); :class:`RangePartitioner` assigns parameter keys to
+shards round-robin over the sorted key set, which balances shard sizes
+for same-shaped keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import PSError
+
+
+class RangePartitioner:
+    """Deterministic key -> shard assignment."""
+
+    def __init__(self, keys: Iterable[str], n_shards: int):
+        key_list = sorted(set(keys))
+        if n_shards < 1:
+            raise PSError(f"need >= 1 shard, got {n_shards}")
+        if not key_list:
+            raise PSError("cannot partition an empty key set")
+        self.n_shards = min(n_shards, len(key_list))
+        self._shard_of: dict[str, int] = {
+            key: index % self.n_shards
+            for index, key in enumerate(key_list)}
+
+    @property
+    def keys(self) -> list[str]:
+        return sorted(self._shard_of)
+
+    def shard_of(self, key: str) -> int:
+        shard = self._shard_of.get(key)
+        if shard is None:
+            raise PSError(f"unknown key {key!r}")
+        return shard
+
+    def keys_of_shard(self, shard: int) -> list[str]:
+        if not 0 <= shard < self.n_shards:
+            raise PSError(f"shard {shard} out of range")
+        return sorted(k for k, s in self._shard_of.items() if s == shard)
+
+    def group_by_shard(self, keys: Sequence[str]) -> dict[int, list[str]]:
+        """Split a key list by owning shard (the scatter step)."""
+        grouped: dict[int, list[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.shard_of(key), []).append(key)
+        return grouped

@@ -1,0 +1,73 @@
+"""Payload byte accounting and (de)serialization.
+
+Harmony moves "data (de)serialization outside of COMM subtask" to keep
+COMM subtasks purely network-bound (§IV-A).  The local runtime mirrors
+that: :func:`encode`/:func:`decode` are the CPU-side serialization work
+and :func:`payload_bytes` is what the transport charges to the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import PSError
+
+_MAGIC = b"HPSM"  # Harmony PS message
+
+
+def payload_bytes(arrays: Mapping[str, np.ndarray]) -> int:
+    """Wire size of a key->array mapping (headers + raw data)."""
+    total = len(_MAGIC) + 4
+    for key, value in arrays.items():
+        array = np.asarray(value, dtype=np.float64)
+        total += 4 + len(key.encode("utf-8"))
+        total += 4  # ndim
+        total += 8 * array.ndim  # shape
+        total += array.nbytes
+    return total
+
+
+def encode(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Serialize a key->array mapping to a compact binary frame."""
+    parts = [_MAGIC, struct.pack("<I", len(arrays))]
+    for key in sorted(arrays):
+        # note: np.ascontiguousarray would promote 0-d arrays to 1-d.
+        value = np.asarray(arrays[key], dtype=np.float64, order="C")
+        name = key.encode("utf-8")
+        parts.append(struct.pack("<I", len(name)))
+        parts.append(name)
+        parts.append(struct.pack("<I", value.ndim))
+        parts.append(struct.pack(f"<{value.ndim}q", *value.shape))
+        parts.append(value.tobytes())
+    return b"".join(parts)
+
+
+def decode(frame: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`encode`."""
+    if frame[:4] != _MAGIC:
+        raise PSError("bad frame magic")
+    offset = 4
+    (count,) = struct.unpack_from("<I", frame, offset)
+    offset += 4
+    result: dict[str, np.ndarray] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<I", frame, offset)
+        offset += 4
+        key = frame[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        (ndim,) = struct.unpack_from("<I", frame, offset)
+        offset += 4
+        shape = struct.unpack_from(f"<{ndim}q", frame, offset)
+        offset += 8 * ndim
+        size = int(np.prod(shape)) if ndim else 1
+        nbytes = size * 8
+        array = np.frombuffer(frame, dtype=np.float64, count=size,
+                              offset=offset).reshape(shape).copy()
+        offset += nbytes
+        result[key] = array
+    if offset != len(frame):
+        raise PSError(f"trailing bytes in frame ({len(frame) - offset})")
+    return result

@@ -1,0 +1,155 @@
+"""Triggerable events for the simulation kernel.
+
+An :class:`Event` is a one-shot waitable: processes yield it to block
+until someone calls :meth:`Event.succeed` or :meth:`Event.fail`.
+:class:`AllOf` and :class:`AnyOf` compose events; ``AllOf`` is the
+building block of the SubTask Synchronizer's cross-worker barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+Callback = Callable[["Event"], None]
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Events are *triggered* at most once, either successfully (with an
+    optional value) or with an exception.  Callbacks registered before
+    the trigger run synchronously, in registration order, at trigger
+    time; callbacks registered after the trigger run immediately.
+    """
+
+    __slots__ = ("sim", "name", "_callbacks", "_triggered", "_ok", "_value")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: list[Callback] = []
+        self._triggered = False
+        self._ok = False
+        self._value: Any = None
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event was triggered successfully."""
+        return self._triggered and self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has no value yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exc`` raised at their yield point.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(ok=False, value=exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError(
+                f"event {self.name!r} triggered twice (at t={self.sim.now})")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- waiting ------------------------------------------------------
+
+    def add_callback(self, callback: Callback) -> None:
+        """Run ``callback(event)`` when the event triggers."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state} @t={self.sim.now:.3f}>"
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered successfully.
+
+    Fails as soon as any child fails.  The value is the list of child
+    values in the order the children were given.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 name: str = "all_of"):
+        super().__init__(sim, name)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers.
+
+    The value is a ``(index, value)`` pair identifying which child fired.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 name: str = "any_of"):
+        super().__init__(sim, name)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callback:
+        def on_child(child: Event) -> None:
+            if self._triggered:
+                return
+            if child.ok:
+                self.succeed((index, child.value))
+            else:
+                self.fail(child.value)
+        return on_child

@@ -1,0 +1,274 @@
+"""Rate-based shared resources.
+
+All resource contention in the simulated cluster is expressed through
+:class:`RateResource`: tasks carry an amount of *work* (seconds of
+service at rate 1.0) and a :data:`RatePolicy` decides, from a task's
+position in the FIFO queue, at what rate it is currently served.
+
+Three policies cover every resource in the paper:
+
+* :func:`serial` — one task at a time.  Models the CPU of a machine /
+  job group: "a single CPU subtask is executed at a time as a single
+  CPU subtask usually uses almost all of the provided CPU resources"
+  (§IV-A).
+* :func:`primary_secondary` — full rate for the head-of-line task plus a
+  reduced-rate secondary.  Models the network: "we schedule a secondary
+  network subtask, while yielding the network resources to the primary
+  network subtask whenever a contention occurs" (§IV-A).
+* :func:`processor_sharing` — equal sharing among all active tasks, with
+  an optional interference penalty.  Models the *naive co-location*
+  baseline (uncoordinated contention) and shared disk bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ResourceError
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+_EPSILON = 1e-9
+
+#: Maps the number of queued tasks to per-position service rates.
+#: Positions beyond the returned sequence receive rate 0 (waiting).
+RatePolicy = Callable[[int], Sequence[float]]
+
+
+def serial() -> RatePolicy:
+    """Only the head-of-line task runs, at full rate."""
+    def policy(n_active: int) -> Sequence[float]:
+        return (1.0,)
+    return policy
+
+
+def primary_secondary(secondary_rate: float = 0.4) -> RatePolicy:
+    """Head-of-line task at full rate; the next task at a reduced rate.
+
+    ``secondary_rate`` is the fraction of the resource the secondary
+    task scavenges from the primary's idle gaps.
+    """
+    if not 0.0 <= secondary_rate <= 1.0:
+        raise ResourceError(f"secondary_rate {secondary_rate} not in [0,1]")
+
+    def policy(n_active: int) -> Sequence[float]:
+        return (1.0, secondary_rate)
+    return policy
+
+
+def processor_sharing(interference: float = 0.0,
+                      max_concurrent: Optional[int] = None) -> RatePolicy:
+    """All (or the first ``max_concurrent``) tasks share the resource.
+
+    With ``k`` concurrent tasks each receives ``eff(k) / k`` where
+    ``eff(k) = 1 / (1 + interference * (k - 1))`` — i.e. total delivered
+    throughput *degrades* with concurrency.  ``interference=0`` is ideal
+    processor sharing.
+    """
+    if interference < 0:
+        raise ResourceError(f"interference {interference} must be >= 0")
+
+    def policy(n_active: int) -> Sequence[float]:
+        k = n_active if max_concurrent is None else min(n_active,
+                                                        max_concurrent)
+        if k <= 0:
+            return ()
+        efficiency = 1.0 / (1.0 + interference * (k - 1))
+        return (efficiency / k,) * k
+    return policy
+
+
+@dataclass
+class ServiceRecord:
+    """Completion record delivered as the value of a task's event."""
+
+    submitted_at: float
+    started_at: float
+    finished_at: float
+    work: float
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent queued before receiving any service."""
+        return self.started_at - self.submitted_at
+
+    @property
+    def total_time(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class _Task:
+    work_remaining: float
+    work_total: float
+    event: Event
+    tag: Optional[str]
+    submitted_at: float
+    started_at: Optional[float] = None
+    served: float = 0.0
+
+
+@dataclass
+class BusySegment:
+    """A constant-utilization interval of the resource."""
+
+    start: float
+    end: float
+    level: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RateResource:
+    """A shared resource serving FIFO-ordered tasks at policy rates."""
+
+    def __init__(self, sim: Simulator, policy: RatePolicy, name: str = "",
+                 record_segments: bool = True):
+        self.sim = sim
+        self.name = name
+        self._policy = policy
+        self._tasks: list[_Task] = []
+        self._last_update = sim.now
+        self._wake_generation = 0
+        self._record_segments = record_segments
+        #: Utilization history: one entry per constant-rate interval.
+        self.segments: list[BusySegment] = []
+        #: Aggregate ``∫ level dt`` — busy seconds, capped at capacity.
+        self.busy_seconds = 0.0
+        #: Service seconds attributed per tag (e.g. per job id).
+        self.served_by_tag: dict[str, float] = {}
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._tasks)
+
+    def submit(self, work: float, tag: Optional[str] = None) -> Event:
+        """Enqueue ``work`` seconds of service; returns a completion event.
+
+        The event value is a :class:`ServiceRecord`.
+        """
+        if work < 0:
+            raise ResourceError(f"negative work {work} on {self.name!r}")
+        self._advance()
+        event = self.sim.event(f"{self.name}:task")
+        task = _Task(work_remaining=max(work, 0.0), work_total=work,
+                     event=event, tag=tag, submitted_at=self.sim.now)
+        self._tasks.append(task)
+        # Zero-work tasks are popped as already-finished by the
+        # rescheduling pass below.
+        self._reschedule()
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Remove a pending task identified by its completion event.
+
+        Returns True if the task was found and removed.  The event is
+        *not* triggered; the caller owns it.
+        """
+        self._advance()
+        for index, task in enumerate(self._tasks):
+            if task.event is event:
+                del self._tasks[index]
+                self._reschedule()
+                return True
+        return False
+
+    def current_rates(self) -> list[float]:
+        """Service rates per queued task, in queue order (0 = waiting)."""
+        rates = list(self._policy(len(self._tasks)))
+        result = []
+        for index in range(len(self._tasks)):
+            result.append(rates[index] if index < len(rates) else 0.0)
+        return result
+
+    def close_segments(self) -> None:
+        """Flush the in-progress utilization segment up to ``sim.now``."""
+        self._advance()
+
+    # -- internals -----------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account for service delivered since the last update."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt <= _EPSILON:
+            self._last_update = now
+            return
+        rates = self.current_rates()
+        level = min(1.0, sum(rates))
+        if level > _EPSILON:
+            self.busy_seconds += level * dt
+            if self._record_segments:
+                self._append_segment(self._last_update, now, level)
+        for task, rate in zip(self._tasks, rates):
+            if rate <= _EPSILON:
+                continue
+            if task.started_at is None:
+                task.started_at = self._last_update
+            delivered = min(task.work_remaining, rate * dt)
+            task.work_remaining -= delivered
+            task.served += delivered
+            if task.tag is not None:
+                self.served_by_tag[task.tag] = (
+                    self.served_by_tag.get(task.tag, 0.0) + delivered)
+        self._last_update = now
+
+    def _append_segment(self, start: float, end: float, level: float) -> None:
+        if self.segments:
+            last = self.segments[-1]
+            if (abs(last.end - start) <= _EPSILON
+                    and abs(last.level - level) <= 1e-6):
+                last.end = end
+                return
+        self.segments.append(BusySegment(start, end, level))
+
+    def _reschedule(self) -> None:
+        """Recompute the next completion and schedule a wake-up."""
+        self._wake_generation += 1
+        generation = self._wake_generation
+        # Pop any tasks that are already done (zero-work or finished
+        # exactly at the current instant).
+        self._pop_finished()
+        if not self._tasks:
+            return
+        rates = self.current_rates()
+        horizon = None
+        for task, rate in zip(self._tasks, rates):
+            if rate <= _EPSILON:
+                continue
+            eta = task.work_remaining / rate
+            if horizon is None or eta < horizon:
+                horizon = eta
+        if horizon is None:
+            return  # everything is waiting (policy starves the queue)
+        self.sim.call_in(max(horizon, 0.0),
+                         lambda: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # superseded by a later submit/cancel/completion
+        self._advance()
+        self._reschedule()
+
+    def _pop_finished(self) -> None:
+        finished = [t for t in self._tasks if t.work_remaining <= _EPSILON]
+        if not finished:
+            return
+        self._tasks = [t for t in self._tasks
+                       if t.work_remaining > _EPSILON]
+        for task in finished:
+            self._complete(task)
+
+    def _complete(self, task: _Task) -> None:
+        started = task.started_at if task.started_at is not None \
+            else self.sim.now
+        record = ServiceRecord(submitted_at=task.submitted_at,
+                               started_at=started,
+                               finished_at=self.sim.now,
+                               work=task.work_total)
+        task.event.succeed(record)

@@ -1,0 +1,112 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the virtual clock and a time-ordered callback
+queue.  Everything else in the kernel (events, processes, resources) is
+built from :meth:`Simulator.call_at` and :class:`~repro.sim.events.Event`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A discrete-event simulator with a float-seconds clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, in seconds."""
+        return self._now
+
+    # -- scheduling primitives ----------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute time ``when``."""
+        if when < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}")
+        heapq.heappush(self._queue, (max(when, self._now),
+                                     next(self._sequence), callback))
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.call_at(self._now + delay, callback)
+
+    # -- event factories ----------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event bound to this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None,
+                name: str = "timeout") -> Event:
+        """An event that triggers ``delay`` seconds from now."""
+        ev = Event(self, name)
+        self.call_in(delay, lambda: ev.succeed(value))
+        return ev
+
+    def spawn(self, generator: Generator, name: str = "process") -> Process:
+        """Start a generator-based process immediately."""
+        return Process(self, generator, name=name)
+
+    # -- the loop ------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False if empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        if when < self._now - 1e-9:
+            raise SimulationError("event queue went backwards in time")
+        self._now = when
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        Returns the simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled callback, or None if queue empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.3f} pending={len(self._queue)}>"

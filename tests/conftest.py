@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ExecutionConfig,
+    MachineSpec,
+    MemoryConfig,
+    SchedulerConfig,
+    SimConfig,
+)
+from repro.core.profiler import JobMetrics
+from repro.sim import RandomStreams, Simulator
+from repro.workloads.apps import DATASETS, JobSpec, LASSO, LDA, MLR, NMF
+from repro.workloads.costmodel import CostModel
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(7)
+
+
+@pytest.fixture
+def machine_spec() -> MachineSpec:
+    return MachineSpec()
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def sim_config() -> SimConfig:
+    """A deterministic config (no duration jitter) for exact assertions."""
+    return SimConfig(
+        seed=7,
+        execution=ExecutionConfig(duration_jitter_cv=0.0,
+                                  barrier_overhead=0.0))
+
+
+@pytest.fixture
+def small_jobs() -> list[JobSpec]:
+    """Eight small jobs (one hyper-param per app/dataset pair)."""
+    return WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+
+
+@pytest.fixture
+def tiny_job() -> JobSpec:
+    """A memory-light, fast job (LDA on NYTimes)."""
+    return JobSpec("tiny", LDA, DATASETS["LDA"][1], iterations=3)
+
+
+@pytest.fixture
+def big_job() -> JobSpec:
+    """A memory-heavy job (MLR on the large synthetic dataset)."""
+    return JobSpec("big", MLR, DATASETS["MLR"][1], iterations=3)
+
+
+def metrics(job_id: str, cpu_work: float, t_net: float,
+            m: int = 16) -> JobMetrics:
+    """Hand-built profiled metrics for scheduler unit tests."""
+    return JobMetrics(job_id=job_id, cpu_work=cpu_work, t_net=t_net,
+                      m_observed=m)

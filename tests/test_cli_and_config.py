@@ -1,0 +1,113 @@
+"""Tests for the CLI entry point, configuration, and error types."""
+
+import pytest
+
+from repro.__main__ import DRIVERS, main
+from repro.config import (
+    DEFAULT_SIM_CONFIG,
+    GB,
+    GCModel,
+    MB,
+    MachineSpec,
+    SimConfig,
+)
+from repro import errors
+
+
+class TestCli:
+    def test_list_exits_cleanly(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10_main" in out
+        assert "reloading" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_driver_fails(self, capsys):
+        assert main(["not-a-driver"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_driver_has_run_and_report(self):
+        for name, module in DRIVERS.items():
+            assert callable(module.run), name
+            assert callable(module.report), name
+
+    def test_small_driver_runs_through_cli(self, capsys):
+        assert main(["fig03_dop_sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "completed in" in out
+
+    def test_scale_flag_is_forwarded(self, capsys):
+        assert main(["fig10_main", "--scale", "0.15", "--seed", "5"]) == 0
+        assert "Harmony" in capsys.readouterr().out
+
+
+class TestMachineSpec:
+    def test_m4_2xlarge_defaults(self):
+        spec = MachineSpec()
+        assert spec.cores == 8
+        assert spec.memory_gb == 32.0
+        assert spec.network_bps == pytest.approx(1.1e9 / 8)
+
+    def test_usable_memory(self):
+        spec = MachineSpec(memory_gb=10.0, usable_memory_fraction=0.5)
+        assert spec.usable_memory_gb == 5.0
+        assert spec.usable_memory_bytes == 5.0 * GB
+
+    def test_units(self):
+        assert GB == 1024.0 ** 3
+        assert MB == 1024.0 ** 2
+
+
+class TestSimConfig:
+    def test_with_seed_changes_only_seed(self):
+        derived = DEFAULT_SIM_CONFIG.with_seed(99)
+        assert derived.seed == 99
+        assert derived.machine == DEFAULT_SIM_CONFIG.machine
+        assert derived.scheduler == DEFAULT_SIM_CONFIG.scheduler
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_SIM_CONFIG.seed = 1
+
+    def test_gc_model_nested_in_memory_config(self):
+        assert isinstance(DEFAULT_SIM_CONFIG.memory.gc_model, GCModel)
+
+    def test_paper_constants(self):
+        scheduler = DEFAULT_SIM_CONFIG.scheduler
+        assert scheduler.regroup_benefit_threshold == 0.05
+        assert scheduler.similarity_threshold == 0.05
+        assert scheduler.fewer_jobs_preference == 0.05
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_oom_error_carries_context(self):
+        error = errors.OutOfMemoryError("boom", job_ids=("a", "b"),
+                                        resident_gb=30.0,
+                                        capacity_gb=25.6)
+        assert error.job_ids == ("a", "b")
+        assert error.resident_gb > error.capacity_gb
+
+    def test_resource_error_is_simulation_error(self):
+        assert issubclass(errors.ResourceError, errors.SimulationError)
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_string(self):
+        import repro
+        assert repro.__version__.count(".") == 2

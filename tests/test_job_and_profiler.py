@@ -1,0 +1,175 @@
+"""Tests for the job state machine, subtasks, and the profiler."""
+
+import pytest
+
+from repro.core.job import Job, JobState
+from repro.core.profiler import JobMetrics, Profiler
+from repro.core.subtask import (
+    ITERATION_SEQUENCE,
+    ResourceKind,
+    SubTask,
+    SubTaskKind,
+)
+from repro.errors import JobStateError, SchedulingError
+from repro.workloads.apps import DATASETS, JobSpec, LDA
+
+
+def _job(iterations=3) -> Job:
+    return Job(JobSpec("j", LDA, DATASETS["LDA"][1],
+                       iterations=iterations))
+
+
+class TestJobStates:
+    def test_starts_waiting_with_full_iterations(self):
+        job = _job(iterations=5)
+        assert job.state is JobState.WAITING
+        assert job.remaining_iterations == 5
+
+    def test_happy_path_transitions(self):
+        job = _job()
+        for state in (JobState.PROFILING, JobState.PROFILED,
+                      JobState.RUNNING, JobState.PAUSED,
+                      JobState.RUNNING, JobState.FINISHED):
+            job.transition(state)
+        assert job.is_done
+
+    def test_illegal_transition_raises(self):
+        job = _job()
+        with pytest.raises(JobStateError):
+            job.transition(JobState.FINISHED)  # WAITING -> FINISHED
+
+    def test_terminal_states_are_final(self):
+        job = _job()
+        job.transition(JobState.PROFILING)
+        job.transition(JobState.FAILED)
+        with pytest.raises(JobStateError):
+            job.transition(JobState.RUNNING)
+
+    def test_interrupted_profiling_can_resume(self):
+        job = _job()
+        job.transition(JobState.PROFILING)
+        job.transition(JobState.PAUSED)
+        job.transition(JobState.PROFILING)  # re-profiled later
+        assert job.state is JobState.PROFILING
+
+    def test_complete_iteration_counts_down(self):
+        job = _job(iterations=2)
+        assert job.complete_iteration() is False
+        assert job.complete_iteration() is True
+        with pytest.raises(JobStateError):
+            job.complete_iteration()
+
+    def test_is_schedulable_matches_algorithm_inputs(self):
+        job = _job()
+        assert not job.is_schedulable  # WAITING
+        job.transition(JobState.PROFILING)
+        assert not job.is_schedulable
+        job.transition(JobState.PROFILED)
+        assert job.is_schedulable
+        job.transition(JobState.RUNNING)
+        assert job.is_schedulable
+        job.transition(JobState.PAUSED)
+        assert job.is_schedulable
+
+    def test_completion_time_requires_finish(self):
+        job = _job()
+        with pytest.raises(JobStateError):
+            job.completion_time()
+        job.finish_time = 100.0
+        assert job.completion_time() == 100.0 - job.submit_time
+
+
+class TestSubTasks:
+    def test_iteration_sequence_is_pull_comp_push(self):
+        assert ITERATION_SEQUENCE == (SubTaskKind.PULL, SubTaskKind.COMP,
+                                      SubTaskKind.PUSH)
+
+    def test_comm_subtasks_use_network(self):
+        assert SubTaskKind.PULL.resource is ResourceKind.NETWORK
+        assert SubTaskKind.PUSH.resource is ResourceKind.NETWORK
+        assert SubTaskKind.PULL.is_comm and SubTaskKind.PUSH.is_comm
+
+    def test_comp_subtask_uses_cpu(self):
+        assert SubTaskKind.COMP.resource is ResourceKind.CPU
+        assert not SubTaskKind.COMP.is_comm
+
+    def test_subtask_tag_is_job_id(self):
+        task = SubTask("jobX", SubTaskKind.COMP, iteration=0,
+                       duration=1.0)
+        assert task.tag == "jobX"
+        assert task.resource is ResourceKind.CPU
+
+
+class TestJobMetrics:
+    def test_t_cpu_scales_inversely_with_machines(self):
+        metrics = JobMetrics("j", cpu_work=100.0, t_net=10.0,
+                             m_observed=4)
+        assert metrics.t_cpu_at(4) == 25.0
+        assert metrics.t_cpu_at(8) == 12.5
+
+    def test_iteration_time_adds_network(self):
+        metrics = JobMetrics("j", cpu_work=100.0, t_net=10.0,
+                             m_observed=4)
+        assert metrics.t_iteration_at(10) == pytest.approx(20.0)
+
+    def test_bad_dop_raises(self):
+        metrics = JobMetrics("j", cpu_work=1.0, t_net=1.0, m_observed=1)
+        with pytest.raises(SchedulingError):
+            metrics.t_cpu_at(0)
+
+    def test_comp_comm_ratio(self):
+        metrics = JobMetrics("j", cpu_work=100.0, t_net=10.0,
+                             m_observed=4)
+        assert metrics.comp_comm_ratio_at(10) == pytest.approx(1.0)
+
+
+class TestProfiler:
+    def test_first_record_is_exact(self):
+        profiler = Profiler()
+        profiler.record_iteration("j", t_cpu=10.0, t_net=4.0, m=8)
+        metrics = profiler.get("j")
+        assert metrics.cpu_work == pytest.approx(80.0)
+        assert metrics.t_net == pytest.approx(4.0)
+        assert metrics.samples == 1
+
+    def test_ema_converges_to_new_level(self):
+        profiler = Profiler(ema_alpha=0.5)
+        profiler.record_iteration("j", 10.0, 4.0, m=1)
+        for _ in range(20):
+            profiler.record_iteration("j", 20.0, 8.0, m=1)
+        metrics = profiler.get("j")
+        assert metrics.cpu_work == pytest.approx(20.0, rel=0.01)
+        assert metrics.t_net == pytest.approx(8.0, rel=0.01)
+
+    def test_cpu_work_is_dop_normalized(self):
+        """Measurements at different DoPs agree on the work constant."""
+        profiler = Profiler(ema_alpha=1.0)
+        profiler.record_iteration("j", t_cpu=10.0, t_net=1.0, m=8)
+        work_at_8 = profiler.get("j").cpu_work
+        profiler.record_iteration("j", t_cpu=20.0, t_net=1.0, m=4)
+        assert profiler.get("j").cpu_work == pytest.approx(work_at_8)
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(SchedulingError):
+            Profiler().get("ghost")
+
+    def test_negative_measurement_raises(self):
+        with pytest.raises(SchedulingError):
+            Profiler().record_iteration("j", -1.0, 1.0, m=1)
+
+    def test_invalid_ema_raises(self):
+        with pytest.raises(SchedulingError):
+            Profiler(ema_alpha=0.0)
+
+    def test_forget_removes(self):
+        profiler = Profiler()
+        profiler.record_iteration("j", 1.0, 1.0, m=1)
+        profiler.forget("j")
+        assert not profiler.has("j")
+        assert len(profiler) == 0
+
+    def test_known_jobs_sorted(self):
+        profiler = Profiler()
+        profiler.record_iteration("b", 1.0, 1.0, m=1)
+        profiler.record_iteration("a", 1.0, 1.0, m=1)
+        assert profiler.known_jobs() == ["a", "b"]

@@ -1,0 +1,177 @@
+"""Tests for the threaded local runtime (real PS + real models)."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_runtime import LocalHarmonyRuntime, LocalJob
+from repro.core.subtask import SubTaskKind
+from repro.core.synchronizer import SubTaskSynchronizer
+from repro.errors import SimulationError, WorkloadError
+from repro.ml import LassoModel, MLRModel
+from repro.ml.datasets import (
+    make_classification,
+    make_regression,
+    partition_rows,
+)
+
+
+def mlr_job(job_id="mlr", n_workers=2, epochs=10, seed=1):
+    features, labels, _ = make_classification(240, 10, 3, seed=seed)
+    parts = partition_rows(len(labels), n_workers)
+    partitions = [{"X": features[p], "y": labels[p]} for p in parts]
+    return LocalJob(job_id, MLRModel(10, 3), partitions,
+                    max_epochs=epochs, learning_rate=0.5)
+
+
+def lasso_job(job_id="lasso", n_workers=2, epochs=10, seed=2):
+    features, targets, _ = make_regression(200, 20, sparsity=0.5,
+                                           seed=seed)
+    parts = partition_rows(len(targets), n_workers)
+    partitions = [{"X": features[p], "y": targets[p]} for p in parts]
+    return LocalJob(job_id, LassoModel(20), partitions,
+                    max_epochs=epochs, learning_rate=0.3)
+
+
+class TestLocalJob:
+    def test_rejects_empty_partitions(self):
+        with pytest.raises(WorkloadError):
+            LocalJob("x", MLRModel(4, 2), [], max_epochs=1)
+
+    def test_rejects_zero_epochs(self):
+        with pytest.raises(WorkloadError):
+            LocalJob("x", MLRModel(4, 2), [{}], max_epochs=0)
+
+    def test_n_workers_matches_partitions(self):
+        job = mlr_job(n_workers=3)
+        assert job.n_workers == 3
+
+
+class TestLocalRuntime:
+    def test_single_job_trains(self):
+        runtime = LocalHarmonyRuntime([mlr_job()], barrier_timeout=30)
+        results = runtime.run()
+        result = results["mlr"]
+        assert result.epochs > 1
+        assert result.losses[-1] < result.losses[0]
+        assert result.bytes_moved > 0
+
+    def test_colocated_jobs_both_converge(self):
+        runtime = LocalHarmonyRuntime([mlr_job(), lasso_job()],
+                                      barrier_timeout=30)
+        results = runtime.run()
+        assert set(results) == {"mlr", "lasso"}
+        for result in results.values():
+            assert result.losses[-1] < result.losses[0]
+
+    def test_duplicate_job_ids_rejected(self):
+        with pytest.raises(WorkloadError):
+            LocalHarmonyRuntime([mlr_job("same"), mlr_job("same")])
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(WorkloadError):
+            LocalHarmonyRuntime([])
+
+    def test_profiler_collects_metrics(self):
+        runtime = LocalHarmonyRuntime([mlr_job()], barrier_timeout=30)
+        runtime.run()
+        assert runtime.profiler.has("mlr")
+        metrics = runtime.profiler.get("mlr")
+        assert metrics.cpu_work > 0
+
+    def test_uncoordinated_mode_still_correct(self):
+        """Without coordination the answer is the same, only timing
+        differs (the naive baseline's point)."""
+        coordinated = LocalHarmonyRuntime([mlr_job(seed=3)],
+                                          barrier_timeout=30).run()
+        free_for_all = LocalHarmonyRuntime([mlr_job(seed=3)],
+                                           coordinate=False,
+                                           barrier_timeout=30).run()
+        assert coordinated["mlr"].epochs == free_for_all["mlr"].epochs
+        assert coordinated["mlr"].losses[-1] == pytest.approx(
+            free_for_all["mlr"].losses[-1], rel=1e-6)
+
+    def test_threshold_stops_early(self):
+        job = mlr_job(epochs=50)
+        job.threshold = 10.0  # immediately satisfied
+        runtime = LocalHarmonyRuntime([job], barrier_timeout=30)
+        results = runtime.run()
+        assert results["mlr"].epochs == 1
+
+    def test_final_params_returned(self):
+        runtime = LocalHarmonyRuntime([mlr_job()], barrier_timeout=30)
+        results = runtime.run()
+        params = results["mlr"].final_params
+        assert params
+        total_classes = sum(v.shape[1] for v in params.values())
+        assert total_classes == 3
+
+
+class TestSynchronizer:
+    def test_barrier_releases_when_all_arrive(self):
+        import threading
+        synchronizer = SubTaskSynchronizer(timeout=5.0)
+        synchronizer.register_job("j", 2)
+        released = []
+
+        def worker():
+            synchronizer.arrive("j", 0, SubTaskKind.PULL)
+            released.append(True)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert not released  # one of two arrived
+        synchronizer.arrive("j", 0, SubTaskKind.PULL)
+        thread.join(timeout=5.0)
+        assert len(released) == 1
+
+    def test_unregistered_job_raises(self):
+        synchronizer = SubTaskSynchronizer()
+        with pytest.raises(SimulationError):
+            synchronizer.arrive("ghost", 0, SubTaskKind.PULL)
+
+    def test_over_arrival_raises(self):
+        synchronizer = SubTaskSynchronizer()
+        synchronizer.register_job("j", 1)
+        synchronizer.arrive("j", 0, SubTaskKind.PULL)
+        with pytest.raises(SimulationError, match="more arrivals"):
+            synchronizer.arrive("j", 0, SubTaskKind.PULL)
+
+    def test_timeout_raises(self):
+        synchronizer = SubTaskSynchronizer(timeout=0.05)
+        synchronizer.register_job("j", 2)
+        with pytest.raises(SimulationError, match="barrier timeout"):
+            synchronizer.arrive("j", 0, SubTaskKind.COMP)
+
+    def test_unregister_releases_waiters(self):
+        import threading
+        synchronizer = SubTaskSynchronizer(timeout=5.0)
+        synchronizer.register_job("j", 2)
+        outcome = []
+
+        def worker():
+            try:
+                synchronizer.arrive("j", 0, SubTaskKind.PUSH)
+                outcome.append("released")
+            except SimulationError:
+                outcome.append("timeout")
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        import time
+        time.sleep(0.1)  # let the worker reach the barrier
+        synchronizer.unregister_job("j")
+        thread.join(timeout=5.0)
+        assert outcome == ["released"]
+
+    def test_pending_reports_open_barriers(self):
+        synchronizer = SubTaskSynchronizer(timeout=0.05)
+        synchronizer.register_job("j", 2)
+        assert synchronizer.pending("j") == 0
+        with pytest.raises(SimulationError):
+            synchronizer.arrive("j", 0, SubTaskKind.PULL)
+        assert synchronizer.pending("j") == 1
+        assert synchronizer.pending("ghost") is None
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(SimulationError):
+            SubTaskSynchronizer().register_job("j", 0)

@@ -1,0 +1,210 @@
+"""White-box tests of the HarmonyMaster's scheduling machinery."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import (
+    ExecutionConfig,
+    MemoryConfig,
+    SchedulerConfig,
+    SimConfig,
+)
+from repro.core.job import Job, JobState
+from repro.core.master import HarmonyMaster
+from repro.metrics.utilization import ClusterUsageRecorder
+from repro.sim import RandomStreams, Simulator
+from repro.workloads.apps import DATASETS, JobSpec, LDA, MLR
+from repro.workloads.costmodel import CostModel
+
+
+def build_master(n_machines=24, config=None):
+    sim = Simulator()
+    config = config if config is not None else SimConfig(
+        execution=ExecutionConfig(duration_jitter_cv=0.0,
+                                  barrier_overhead=0.0))
+    cluster = Cluster(n_machines, config.machine)
+    recorder = ClusterUsageRecorder(n_machines)
+    master = HarmonyMaster(sim, cluster, CostModel(config.machine),
+                           config, RandomStreams(config.seed), recorder)
+    return sim, master
+
+
+def lda_spec(job_id, iterations=5, **kwargs):
+    return JobSpec(job_id, LDA, DATASETS["LDA"][1],
+                   iterations=iterations, **kwargs)
+
+
+def mlr_spec(job_id, iterations=5, **kwargs):
+    return JobSpec(job_id, MLR, DATASETS["MLR"][0],
+                   iterations=iterations, **kwargs)
+
+
+class TestSubmission:
+    def test_submit_enters_profiling_immediately(self):
+        sim, master = build_master()
+        job = master.submit(lda_spec("a"))
+        assert job.state is JobState.PROFILING
+        assert master.groups  # a bootstrap group exists
+
+    def test_duplicate_submit_rejected(self):
+        sim, master = build_master()
+        master.submit(lda_spec("a"))
+        with pytest.raises(Exception):
+            master.submit(lda_spec("a"))
+
+    def test_bootstrap_group_size_covers_memory_floor(self):
+        sim, master = build_master(n_machines=24)
+        master.submit(mlr_spec("big"))
+        group = next(iter(master.groups.values()))
+        floor = master._memory_floor(["big"])
+        assert group.n_machines >= floor
+
+    def test_second_job_joins_profiling_group(self):
+        """§IV-B1: deploy to 'a job group that is already profiling
+        another new job'."""
+        sim, master = build_master()
+        master.submit(lda_spec("a"))
+        master.submit(lda_spec("b"))
+        assert len(master.groups) == 1
+
+    def test_third_profiler_opens_new_group(self):
+        """At most two concurrent profilees per group."""
+        sim, master = build_master()
+        for name in ("a", "b", "c"):
+            master.submit(lda_spec(name))
+        assert len(master.groups) == 2
+
+
+class TestMemoryFloor:
+    def test_floor_with_spill_is_small(self):
+        sim, master = build_master()
+        master.submit(mlr_spec("big"))
+        assert master._memory_floor(["big"]) <= 4
+
+    def test_floor_without_spill_is_larger(self):
+        config = SimConfig(memory=MemoryConfig(spill_enabled=False))
+        sim, master = build_master(config=config)
+        master.submit(mlr_spec("big"))
+        assert master._memory_floor(["big"]) >= 5
+
+    def test_floor_sums_over_colocated_jobs(self):
+        config = SimConfig(memory=MemoryConfig(spill_enabled=False))
+        sim, master = build_master(config=config)
+        master.submit(mlr_spec("a"))
+        master.submit(mlr_spec("b"))
+        single = master._memory_floor(["a"])
+        double = master._memory_floor(["a", "b"])
+        assert double > single
+
+    def test_unplaceable_jobs_get_sentinel(self):
+        sim, master = build_master(n_machines=8)
+        master.submit(mlr_spec("huge", model_scale=40.0,
+                               compute_scale=1.0))
+        config_floor = master._memory_floor(["huge"])
+        assert config_floor == master.cluster.size + 1
+
+
+class TestSchedulableSets:
+    def test_profiling_jobs_are_not_schedulable(self):
+        sim, master = build_master()
+        master.submit(lda_spec("a"))
+        assert master._schedulable_metrics() == []
+
+    def test_profiled_jobs_become_schedulable(self):
+        sim, master = build_master()
+        master.submit(lda_spec("a", iterations=500))
+        # Run long enough for profiling (3 iterations) to complete,
+        # but far short of the job's convergence.
+        sim.run(until=2500.0)
+        assert master.profiler.has("a")
+        job = master.jobs["a"]
+        assert job.state in (JobState.RUNNING, JobState.PROFILED,
+                             JobState.PAUSED)
+        assert len(master._schedulable_metrics()) == 1
+
+
+class TestEndToEndInvariants:
+    def _run(self, specs, n_machines=24):
+        sim, master = build_master(n_machines)
+        for spec in specs:
+            sim.call_at(spec.submit_time,
+                        lambda s=spec: master.submit(s))
+        sim.run()
+        return sim, master
+
+    def test_machines_never_oversubscribed(self):
+        specs = [lda_spec(f"j{i}", iterations=6) for i in range(6)]
+        sim, master = self._run(specs)
+        assert master.all_done
+        assert master.cluster.n_free == master.cluster.size
+
+    def test_every_decision_record_is_consistent(self):
+        specs = [lda_spec(f"j{i}", iterations=8) for i in range(4)]
+        sim, master = self._run(specs)
+        for record in master.recorder.decisions:
+            assert record.n_machines >= 1
+            assert record.predicted_t_group > 0
+            assert len(record.job_ids) >= 1
+            if record.measured_t_group is not None:
+                assert record.measured_t_group > 0
+
+    def test_group_shape_log_matches_decisions(self):
+        specs = [lda_spec(f"j{i}", iterations=8) for i in range(4)]
+        sim, master = self._run(specs)
+        assert len(master.group_shape_log) == \
+            len(master.recorder.decisions)
+
+    def test_pending_moves_drained_by_completion(self):
+        specs = [lda_spec(f"j{i}", iterations=6) for i in range(5)]
+        sim, master = self._run(specs)
+        assert master._pending_moves == {}
+        assert master._rebuild is None
+
+    def test_mixed_workload_completes(self):
+        specs = [lda_spec("small", iterations=6),
+                 mlr_spec("large", iterations=4),
+                 lda_spec("small2", iterations=6)]
+        sim, master = self._run(specs)
+        assert master.all_done
+        assert all(job.state is JobState.FINISHED
+                   for job in master.jobs.values())
+
+
+class TestPeriodicCheck:
+    def test_noop_when_nothing_profiled(self):
+        sim, master = build_master()
+        master.periodic_check()  # must not raise
+        assert master._rebuild is None
+
+    def test_cooldown_suppresses_back_to_back_applies(self):
+        sim, master = build_master()
+        master._last_apply_time = 0.0
+        # Immediately after an apply, even a beneficial plan must wait.
+        master.periodic_check()
+        assert master._rebuild is None
+
+    def test_check_skips_during_rebuild(self):
+        sim, master = build_master()
+        from repro.core.master import _Rebuild
+        master._rebuild = _Rebuild(draining=set(), slots=[])
+        master.periodic_check()  # no exception, no change
+        assert master._rebuild is not None
+
+
+class TestBalancedMachines:
+    def test_balanced_m_reflects_ratio(self):
+        sim, master = build_master(n_machines=24)
+        master.submit(lda_spec("a", iterations=40))
+        sim.run(until=7200.0)
+        metrics = master.profiler.get("a")
+        balanced = master._balanced_machines(metrics)
+        if balanced is not None:
+            assert 1 <= balanced <= 24
+
+    def test_none_when_no_free_machines(self):
+        from repro.core.profiler import JobMetrics
+        sim, master = build_master(n_machines=4)
+        master.cluster.allocate(master.cluster.n_free, "hog")
+        stub = JobMetrics("stub", cpu_work=100.0, t_net=10.0,
+                          m_observed=4)
+        assert master._balanced_machines(stub) is None

@@ -1,0 +1,180 @@
+"""Tests for measurement: timelines, recorder, stats, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ClusterUsageRecorder,
+    DecisionRecord,
+    Timeline,
+    bin_segments,
+    cdf_points,
+    format_table,
+    mean,
+    percentile,
+    speedup,
+)
+from repro.metrics.reporting import format_comparison
+from repro.metrics.timeline import downsample
+from repro.sim import RateResource, Simulator, serial
+from repro.sim.resources import BusySegment
+
+
+class TestStats:
+    def test_mean_of_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_percentile(self):
+        assert percentile(list(range(101)), 50) == 50.0
+        assert percentile([], 50) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_cdf_points_monotone(self):
+        values, fractions = cdf_points([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_points_empty(self):
+        values, fractions = cdf_points([])
+        assert len(values) == 0 and len(fractions) == 0
+
+
+class TestBinSegments:
+    def test_full_busy_bin(self):
+        segments = [BusySegment(0.0, 60.0, 1.0)]
+        bins = bin_segments(segments, t_end=60.0, bin_seconds=60.0)
+        assert bins == pytest.approx([1.0])
+
+    def test_partial_overlap_prorated(self):
+        segments = [BusySegment(30.0, 90.0, 1.0)]
+        bins = bin_segments(segments, t_end=120.0, bin_seconds=60.0)
+        assert bins == pytest.approx([0.5, 0.5])
+
+    def test_weight_scales_contribution(self):
+        segments = [BusySegment(0.0, 60.0, 0.5)]
+        bins = bin_segments(segments, t_end=60.0, bin_seconds=60.0,
+                            weight=4.0)
+        assert bins == pytest.approx([2.0])
+
+    def test_segments_beyond_end_clipped(self):
+        segments = [BusySegment(0.0, 1000.0, 1.0)]
+        bins = bin_segments(segments, t_end=120.0, bin_seconds=60.0)
+        assert len(bins) == 2
+
+    def test_bad_bin_width_raises(self):
+        with pytest.raises(ValueError):
+            bin_segments([], t_end=10.0, bin_seconds=0.0)
+
+
+class TestTimeline:
+    def test_average_until_ignores_tail(self):
+        timeline = Timeline(bin_seconds=60.0,
+                            values=np.array([1.0, 1.0, 0.0, 0.0]))
+        assert timeline.average_until(120.0) == pytest.approx(1.0)
+        assert timeline.average() == pytest.approx(0.5)
+
+    def test_times_minutes(self):
+        timeline = Timeline(bin_seconds=120.0, values=np.zeros(3))
+        assert list(timeline.times_minutes) == [0.0, 2.0, 4.0]
+
+    def test_downsample_averages(self):
+        assert list(downsample([1.0, 3.0, 5.0, 7.0], 2)) == [2.0, 6.0]
+
+    def test_downsample_factor_one_identity(self):
+        assert list(downsample([1.0, 2.0], 1)) == [1.0, 2.0]
+
+    def test_downsample_bad_factor(self):
+        with pytest.raises(ValueError):
+            downsample([1.0], 0)
+
+
+class TestRecorder:
+    def _run_group(self, recorder, group_id, n_machines, busy, start=0.0):
+        sim = Simulator(start_time=start)
+        cpu = RateResource(sim, serial(), "cpu")
+        net = RateResource(sim, serial(), "net")
+        recorder.group_started(group_id, n_machines, sim.now, cpu, net)
+        cpu.submit(busy)
+        sim.run()
+        recorder.group_stopped(group_id, sim.now)
+
+    def test_busy_fraction_per_group(self):
+        recorder = ClusterUsageRecorder(total_machines=10)
+        self._run_group(recorder, "g0", 5, busy=30.0)
+        usage = recorder.finished_groups[0]
+        assert usage.busy_fraction("cpu") == pytest.approx(1.0)
+        assert usage.busy_fraction("net") == 0.0
+
+    def test_cluster_timeline_weights_by_machines(self):
+        recorder = ClusterUsageRecorder(total_machines=10,
+                                        bin_seconds=10.0)
+        self._run_group(recorder, "g0", 5, busy=10.0)
+        timeline = recorder.utilization_timeline("cpu", t_end=10.0)
+        assert timeline.values[0] == pytest.approx(0.5)
+
+    def test_double_start_raises(self):
+        recorder = ClusterUsageRecorder(total_machines=4)
+        sim = Simulator()
+        cpu = RateResource(sim, serial(), "cpu")
+        net = RateResource(sim, serial(), "net")
+        recorder.group_started("g", 2, 0.0, cpu, net)
+        with pytest.raises(ValueError):
+            recorder.group_started("g", 2, 0.0, cpu, net)
+
+    def test_finish_closes_live_groups(self):
+        recorder = ClusterUsageRecorder(total_machines=4)
+        sim = Simulator()
+        cpu = RateResource(sim, serial(), "cpu")
+        net = RateResource(sim, serial(), "net")
+        recorder.group_started("g", 2, 0.0, cpu, net)
+        recorder.finish(100.0)
+        assert len(recorder.finished_groups) == 1
+
+
+class TestDecisionRecord:
+    def _record(self, **kwargs):
+        defaults = dict(time=0.0, group_id="g", n_machines=4,
+                        job_ids=("a",), predicted_t_group=100.0,
+                        predicted_u_cpu=0.8, predicted_u_net=0.6)
+        defaults.update(kwargs)
+        return DecisionRecord(**defaults)
+
+    def test_t_group_error(self):
+        record = self._record(measured_t_group=110.0)
+        assert record.t_group_error() == pytest.approx(10.0 / 110.0)
+
+    def test_unmeasured_is_none(self):
+        assert self._record().t_group_error() is None
+        assert self._record().u_error() is None
+
+    def test_u_error_skips_idle_epochs(self):
+        record = self._record(measured_u_cpu=0.05, measured_u_net=0.05)
+        assert record.u_error() is None
+
+    def test_u_error_relative(self):
+        record = self._record(measured_u_cpu=0.7, measured_u_net=0.7)
+        assert record.u_error() == pytest.approx(0.0 / 1.4)
+
+
+class TestReporting:
+    def test_table_alignment_and_rows(self):
+        text = format_table(["name", "value"],
+                            [("a", 1.0), ("bbbb", 2.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bbbb" in text and "2.50" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [("x", "y")])
+
+    def test_format_comparison(self):
+        line = format_comparison("JCT", 2.11, 1.20)
+        assert "paper=2.11x" in line and "measured=1.20x" in line

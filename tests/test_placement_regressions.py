@@ -1,0 +1,112 @@
+"""Regression tests for placement bugs found during calibration.
+
+Each test pins a failure mode that once produced livelocks, stuck
+rebuilds, or over-committed groups — the kind of thing only visible in
+long end-to-end runs, captured here as fast, direct scenarios.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import DEFAULT_SIM_CONFIG
+from repro.core.job import JobState
+from repro.core.runtime import HarmonyRuntime
+from repro.workloads.generator import WorkloadGenerator
+
+
+def fixed_alpha_config(alpha):
+    return replace(DEFAULT_SIM_CONFIG,
+                   memory=replace(DEFAULT_SIM_CONFIG.memory,
+                                  fixed_alpha=alpha))
+
+
+class TestFixedAlphaPlacement:
+    """The §V-G fixed-ratio mode once over-committed groups (admission
+    had no fit check and nothing rebalanced), inflating GC until drains
+    never finished."""
+
+    @pytest.mark.parametrize("alpha", [0.3, 0.5, 0.7])
+    def test_fixed_alpha_runs_terminate(self, alpha):
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        result = HarmonyRuntime(24, jobs,
+                                config=fixed_alpha_config(alpha)).run(
+            max_events=2_000_000)
+        assert len(result.finished) == len(jobs)
+
+    def test_no_group_sits_above_oom(self):
+        """With the admission gate, live groups stay below the OOM
+        line at every decision epoch."""
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        runtime = HarmonyRuntime(24, jobs,
+                                 config=fixed_alpha_config(0.5))
+        # Sample group pressure on every membership change.
+        pressures = []
+        master = runtime.master
+        original = master._note_membership_change
+
+        def spy(group):
+            pressures.append(group.ledger.pressure)
+            original(group)
+        master._note_membership_change = spy
+        runtime.run(max_events=2_000_000)
+        assert pressures
+        assert max(pressures) < 1.0
+
+
+class TestPlanFloorGateAlignment:
+    """A plan sized exactly at its memory floor must pass the admission
+    gate, or placement livelocks (plan -> reject -> re-plan forever)."""
+
+    def test_floor_sized_groups_are_admittable(self):
+        from repro.cluster.cluster import Cluster
+        from repro.core.group_runtime import ExecutionMode, GroupRuntime
+        from repro.core.job import Job
+        from repro.core.master import HarmonyMaster
+        from repro.metrics.utilization import ClusterUsageRecorder
+        from repro.sim import RandomStreams, Simulator
+        from repro.workloads.costmodel import CostModel
+
+        config = DEFAULT_SIM_CONFIG
+        sim = Simulator()
+        cluster = Cluster(100, config.machine)
+        master = HarmonyMaster(sim, cluster, CostModel(config.machine),
+                               config, RandomStreams(1),
+                               ClusterUsageRecorder(100))
+        jobs = WorkloadGenerator(5).base_workload(hyper_params_per_pair=1)
+        for spec in jobs:
+            master.jobs[spec.job_id] = Job(spec)
+        for spec in jobs:
+            floor = master._memory_floor([spec.job_id])
+            assert floor <= cluster.size
+            group = GroupRuntime(sim, f"probe-{spec.job_id}",
+                                 tuple(range(floor)),
+                                 ExecutionMode.HARMONY,
+                                 master.cost_model, config,
+                                 RandomStreams(1), master)
+            assert group.can_admit(master.jobs[spec.job_id]), \
+                f"{spec.job_id} rejected at its own floor ({floor})"
+
+
+class TestShrunkSlotSafety:
+    """Rebuild slots created with fewer machines than planned (budget
+    shrank mid-drain) must not over-commit: jobs that no longer fit
+    stay paused and get placed later."""
+
+    def test_heavy_workload_with_small_cluster_terminates(self):
+        jobs = WorkloadGenerator(7).base_workload(hyper_params_per_pair=2)
+        result = HarmonyRuntime(20, jobs).run(max_events=4_000_000)
+        done = len(result.finished) + len(result.failed)
+        assert done == len(jobs)
+        assert not result.failed
+
+
+class TestPauseResumeStability:
+    def test_repeated_failures_never_wedge_rebuilds(self):
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        failure_times = [float(t) for t in range(1200, 20_000, 2400)]
+        runtime = HarmonyRuntime(24, jobs, failure_times=failure_times)
+        result = runtime.run(max_events=4_000_000)
+        assert len(result.finished) == len(jobs)
+        assert runtime.master._rebuild is None
+        assert runtime.master._pending_moves == {}

@@ -1,0 +1,113 @@
+"""Tests for the §IV-B4 regrouping helpers."""
+
+import pytest
+
+from repro.core.profiler import JobMetrics
+from repro.core.regroup import (
+    find_similar_bundle,
+    find_similar_job,
+    is_similar_job,
+    prefer_fewer_jobs,
+)
+
+
+def metrics(job_id, cpu_work, t_net):
+    return JobMetrics(job_id, cpu_work=cpu_work, t_net=t_net,
+                      m_observed=1)
+
+
+class TestSimilarity:
+    def test_identical_jobs_are_similar(self):
+        a = metrics("a", 100.0, 10.0)
+        b = metrics("b", 100.0, 10.0)
+        assert is_similar_job(a, b, m=4)
+
+    def test_within_five_percent_is_similar(self):
+        a = metrics("a", 100.0, 10.0)
+        b = metrics("b", 103.0, 10.2)
+        assert is_similar_job(a, b, m=4, threshold=0.05)
+
+    def test_different_iteration_time_not_similar(self):
+        a = metrics("a", 100.0, 10.0)
+        b = metrics("b", 200.0, 10.0)
+        assert not is_similar_job(a, b, m=4)
+
+    def test_same_total_different_ratio_not_similar(self):
+        """Equal iteration times but opposite comp/comm balance."""
+        a = metrics("a", 100.0, 10.0)   # at m=4: 25 + 10 = 35
+        b = metrics("b", 40.0, 25.0)    # at m=4: 10 + 25 = 35
+        assert not is_similar_job(a, b, m=4)
+
+    def test_find_similar_picks_closest(self):
+        target = metrics("target", 100.0, 10.0)
+        near = metrics("near", 101.0, 10.0)
+        far = metrics("far", 104.0, 10.4)
+        found = find_similar_job([far, near], target, m=4)
+        assert found is near
+
+    def test_find_similar_none_when_empty(self):
+        assert find_similar_job([], metrics("t", 1, 1), m=4) is None
+
+    def test_find_similar_none_when_all_too_different(self):
+        target = metrics("t", 100.0, 10.0)
+        candidates = [metrics("c", 500.0, 50.0)]
+        assert find_similar_job(candidates, target, m=4) is None
+
+
+class TestBundles:
+    def test_two_halves_replace_one_whole(self):
+        target = metrics("t", 200.0, 20.0)
+        halves = [metrics("h1", 100.0, 10.0),
+                  metrics("h2", 100.0, 10.0)]
+        bundle = find_similar_bundle(halves, target, m=4)
+        assert bundle is not None
+        assert {item.job_id for item in bundle} == {"h1", "h2"}
+
+    def test_single_candidate_is_not_a_bundle(self):
+        target = metrics("t", 200.0, 20.0)
+        assert find_similar_bundle([metrics("c", 200.0, 20.0)],
+                                   target, m=4) is None
+
+    def test_bundle_respects_budgets(self):
+        target = metrics("t", 100.0, 10.0)
+        oversized = [metrics("big", 300.0, 30.0),
+                     metrics("big2", 300.0, 30.0)]
+        assert find_similar_bundle(oversized, target, m=4) is None
+
+    def test_bundle_rejects_ratio_mismatch(self):
+        """Sum of iteration times can match while the comp/comm split
+        does not."""
+        target = metrics("t", 200.0, 20.0)   # cpu 50, net 20 at m=4
+        candidates = [metrics("c1", 20.0, 30.0),
+                      metrics("c2", 20.0, 30.0)]
+        assert find_similar_bundle(candidates, target, m=4) is None
+
+    def test_max_bundle_limits_size(self):
+        target = metrics("t", 400.0, 40.0)
+        shards = [metrics(f"s{i}", 100.0, 10.0) for i in range(6)]
+        bundle = find_similar_bundle(shards, target, m=4, max_bundle=4)
+        assert bundle is not None
+        assert len(bundle) <= 4
+
+
+class TestPreferFewerJobs:
+    def test_empty_returns_none(self):
+        assert prefer_fewer_jobs([]) is None
+
+    def test_single_candidate_chosen(self):
+        assert prefer_fewer_jobs([(3, 0.8)]) == 0
+
+    def test_smaller_scope_wins_marginal_improvements(self):
+        # Larger decision only 2% better: keep the smaller one.
+        assert prefer_fewer_jobs([(3, 0.80), (6, 0.816)]) == 0
+
+    def test_larger_scope_wins_big_improvements(self):
+        assert prefer_fewer_jobs([(3, 0.80), (6, 0.90)]) == 1
+
+    def test_equal_size_takes_better_score(self):
+        assert prefer_fewer_jobs([(3, 0.80), (3, 0.85)]) == 1
+
+    def test_chain_of_scopes(self):
+        plans = [(2, 0.70), (4, 0.72), (8, 0.90), (12, 0.91)]
+        # 8 beats 2 by >5%; 12 is not >5% over 8.
+        assert prefer_fewer_jobs(plans) == 2

@@ -1,0 +1,130 @@
+"""Tests for the simulation kernel's event primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Simulator
+from repro.sim.events import Event
+
+
+class TestEvent:
+    def test_starts_untriggered(self, sim):
+        event = sim.event("e")
+        assert not event.triggered
+        assert not event.ok
+
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event("e").value
+
+    def test_double_trigger_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_carries_exception(self, sim):
+        event = sim.event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_fail_requires_exception_instance(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callback_after_trigger_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed(1)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [1]
+
+    def test_callbacks_run_in_registration_order(self, sim):
+        event = sim.event()
+        order = []
+        event.add_callback(lambda e: order.append("a"))
+        event.add_callback(lambda e: order.append("b"))
+        event.succeed()
+        assert order == ["a", "b"]
+
+    def test_timeout_triggers_at_deadline(self, sim):
+        event = sim.timeout(5.0, value="done")
+        sim.run()
+        assert sim.now == 5.0
+        assert event.value == "done"
+
+
+class TestAllOf:
+    def test_waits_for_every_child(self, sim):
+        children = [sim.event() for _ in range(3)]
+        barrier = AllOf(sim, children)
+        children[0].succeed(0)
+        children[1].succeed(1)
+        assert not barrier.triggered
+        children[2].succeed(2)
+        assert barrier.ok
+        assert barrier.value == [0, 1, 2]
+
+    def test_empty_succeeds_immediately(self, sim):
+        assert AllOf(sim, []).ok
+
+    def test_preserves_child_order_not_completion_order(self, sim):
+        first, second = sim.event(), sim.event()
+        barrier = AllOf(sim, [first, second])
+        second.succeed("b")
+        first.succeed("a")
+        assert barrier.value == ["a", "b"]
+
+    def test_fails_fast_on_child_failure(self, sim):
+        children = [sim.event() for _ in range(2)]
+        barrier = AllOf(sim, children)
+        error = RuntimeError("nope")
+        children[0].fail(error)
+        assert barrier.triggered
+        assert not barrier.ok
+        assert barrier.value is error
+
+    def test_already_triggered_children(self, sim):
+        child = sim.event()
+        child.succeed(9)
+        barrier = AllOf(sim, [child])
+        assert barrier.ok
+        assert barrier.value == [9]
+
+
+class TestAnyOf:
+    def test_first_completion_wins(self, sim):
+        children = [sim.event() for _ in range(3)]
+        race = AnyOf(sim, children)
+        children[1].succeed("middle")
+        assert race.ok
+        assert race.value == (1, "middle")
+
+    def test_later_completions_ignored(self, sim):
+        children = [sim.event() for _ in range(2)]
+        race = AnyOf(sim, children)
+        children[0].succeed("first")
+        children[1].succeed("second")
+        assert race.value == (0, "first")
+
+    def test_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [])
+
+    def test_failure_propagates(self, sim):
+        children = [sim.event() for _ in range(2)]
+        race = AnyOf(sim, children)
+        error = RuntimeError("bad")
+        children[0].fail(error)
+        assert not race.ok
+        assert race.value is error

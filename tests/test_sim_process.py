@@ -1,0 +1,146 @@
+"""Tests for generator-based simulated processes."""
+
+import pytest
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim import Simulator
+
+
+class TestProcessBasics:
+    def test_runs_to_completion(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            return "done"
+        process = sim.spawn(proc())
+        sim.run()
+        assert not process.alive
+        assert process.ok
+        assert process.value == "done"
+        assert sim.now == 3.0
+
+    def test_receives_event_values(self, sim):
+        def proc():
+            value = yield sim.timeout(1.0, value=41)
+            return value + 1
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.value == 42
+
+    def test_non_generator_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.spawn(lambda: None)
+
+    def test_yielding_non_event_fails_loudly(self, sim):
+        def proc():
+            yield 5
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_processes_interleave(self, sim):
+        trace = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+        sim.spawn(proc("slow", 3.0))
+        sim.spawn(proc("fast", 1.0))
+        sim.run()
+        assert trace == [("fast", 1.0), ("slow", 3.0)]
+
+    def test_process_can_wait_on_process(self, sim):
+        def inner():
+            yield sim.timeout(2.0)
+            return "inner-result"
+
+        def outer():
+            result = yield sim.spawn(inner())
+            return f"got {result}"
+        process = sim.spawn(outer())
+        sim.run()
+        assert process.value == "got inner-result"
+
+
+class TestKill:
+    def test_kill_ends_process_normally(self, sim):
+        def proc():
+            yield sim.timeout(100.0)
+        process = sim.spawn(proc())
+        sim.call_at(1.0, process.kill)
+        sim.run()
+        assert not process.alive
+        assert process.ok
+        assert process.value is None
+
+    def test_killed_generator_can_clean_up(self, sim):
+        cleaned = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            except ProcessKilled:
+                cleaned.append(True)
+        process = sim.spawn(proc())
+        sim.call_at(1.0, process.kill)
+        sim.run()
+        assert cleaned == [True]
+        assert process.ok
+
+    def test_kill_dead_process_is_noop(self, sim):
+        def proc():
+            return "x"
+            yield  # pragma: no cover - makes this a generator
+        process = sim.spawn(proc())
+        sim.run()
+        process.kill()
+        assert process.value == "x"
+
+    def test_stale_wakeup_after_kill_is_ignored(self, sim):
+        """A timeout that fires after the process was killed must not
+        resurrect it."""
+        def proc():
+            yield sim.timeout(10.0)
+            raise AssertionError("should never resume")
+        process = sim.spawn(proc())
+        sim.call_at(1.0, process.kill)
+        sim.run()
+        assert sim.now == 10.0  # the stale timeout still fired
+        assert process.ok
+
+
+class TestFailures:
+    def test_unobserved_exception_propagates(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise RuntimeError("kaboom")
+        sim.spawn(proc())
+        with pytest.raises(RuntimeError, match="kaboom"):
+            sim.run()
+
+    def test_observed_exception_delivered_to_waiter(self, sim):
+        def failing():
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner error")
+
+        def waiter():
+            try:
+                yield sim.spawn(failing())
+            except RuntimeError as error:
+                return f"caught {error}"
+        process = sim.spawn(waiter())
+        sim.run()
+        assert process.value == "caught inner error"
+
+    def test_failed_event_raises_at_yield_point(self, sim):
+        event = sim.event()
+
+        def proc():
+            try:
+                yield event
+            except ValueError:
+                return "handled"
+        process = sim.spawn(proc())
+        sim.call_at(1.0, lambda: event.fail(ValueError("x")))
+        sim.run()
+        assert process.value == "handled"

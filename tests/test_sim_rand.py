@@ -1,0 +1,56 @@
+"""Tests for the named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+
+
+class TestStreams:
+    def test_same_seed_same_sequence(self):
+        first = RandomStreams(1).stream("x").random(5)
+        second = RandomStreams(1).stream("x").random(5)
+        assert np.allclose(first, second)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(1)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_draws_from_one_stream_do_not_disturb_another(self):
+        reference = RandomStreams(5).stream("target").random(3)
+        perturbed = RandomStreams(5)
+        perturbed.stream("noise").random(1000)
+        assert np.allclose(perturbed.stream("target").random(3),
+                           reference)
+
+    def test_spawn_creates_independent_family(self):
+        parent = RandomStreams(1)
+        child = parent.spawn("child")
+        assert not np.allclose(parent.stream("x").random(4),
+                               child.stream("x").random(4))
+
+
+class TestJitter:
+    def test_zero_cv_is_exactly_one(self):
+        assert RandomStreams(1).jitter("j", 0.0) == 1.0
+
+    def test_jitter_mean_is_approximately_one(self):
+        streams = RandomStreams(2)
+        draws = [streams.jitter("j", 0.1) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(1.0, abs=0.01)
+
+    def test_jitter_cv_matches_request(self):
+        streams = RandomStreams(3)
+        draws = np.array([streams.jitter("j", 0.2) for _ in range(6000)])
+        assert np.std(draws) / np.mean(draws) == pytest.approx(0.2,
+                                                               abs=0.02)
+
+    def test_jitter_is_positive(self):
+        streams = RandomStreams(4)
+        assert all(streams.jitter("j", 0.5) > 0 for _ in range(500))

@@ -1,0 +1,189 @@
+"""Tests for rate-based shared resources."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.sim import (
+    RateResource,
+    Simulator,
+    primary_secondary,
+    processor_sharing,
+    serial,
+)
+
+
+def drain(sim):
+    sim.run()
+
+
+class TestSerial:
+    def test_single_task_runs_at_full_rate(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        done = cpu.submit(5.0)
+        drain(sim)
+        assert done.ok
+        assert sim.now == 5.0
+
+    def test_tasks_serialize_fifo(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        first = cpu.submit(3.0)
+        second = cpu.submit(2.0)
+        drain(sim)
+        assert first.value.finished_at == 3.0
+        assert second.value.finished_at == 5.0
+
+    def test_wait_time_recorded(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(3.0)
+        second = cpu.submit(2.0)
+        drain(sim)
+        assert second.value.wait_time == pytest.approx(3.0)
+
+    def test_zero_work_completes_instantly(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        done = cpu.submit(0.0)
+        assert done.ok
+        assert done.value.total_time == 0.0
+
+    def test_negative_work_raises(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        with pytest.raises(ResourceError):
+            cpu.submit(-1.0)
+
+    def test_busy_seconds_equal_total_work(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(3.0)
+        cpu.submit(4.0)
+        drain(sim)
+        cpu.close_segments()
+        assert cpu.busy_seconds == pytest.approx(7.0)
+
+
+class TestPrimarySecondary:
+    def test_secondary_runs_at_reduced_rate(self, sim):
+        net = RateResource(sim, primary_secondary(0.5), "net")
+        primary = net.submit(10.0)
+        secondary = net.submit(10.0)
+        drain(sim)
+        assert primary.value.finished_at == pytest.approx(10.0)
+        # Secondary progressed 5.0 at rate 0.5, then finished the last
+        # 5.0 at full rate after promotion: 10 + 5 = 15.
+        assert secondary.value.finished_at == pytest.approx(15.0)
+
+    def test_third_task_waits(self, sim):
+        net = RateResource(sim, primary_secondary(0.5), "net")
+        net.submit(10.0)
+        net.submit(10.0)
+        third = net.submit(1.0)
+        rates = net.current_rates()
+        assert rates == [1.0, 0.5, 0.0]
+        drain(sim)
+        assert third.ok
+
+    def test_invalid_secondary_rate_rejected(self):
+        with pytest.raises(ResourceError):
+            primary_secondary(1.5)
+
+    def test_utilization_capped_at_one(self, sim):
+        net = RateResource(sim, primary_secondary(0.5), "net")
+        net.submit(10.0)
+        net.submit(10.0)
+        drain(sim)
+        net.close_segments()
+        assert all(segment.level <= 1.0 for segment in net.segments)
+
+
+class TestProcessorSharing:
+    def test_equal_split_without_interference(self, sim):
+        disk = RateResource(sim, processor_sharing(), "disk")
+        a = disk.submit(10.0)
+        b = disk.submit(10.0)
+        drain(sim)
+        assert a.value.finished_at == pytest.approx(20.0)
+        assert b.value.finished_at == pytest.approx(20.0)
+
+    def test_interference_degrades_throughput(self, sim):
+        cpu = RateResource(sim, processor_sharing(interference=0.5),
+                           "cpu")
+        a = cpu.submit(10.0)
+        b = cpu.submit(10.0)
+        drain(sim)
+        # eff(2) = 1/1.5; two tasks of 10 take 20 * 1.5 = 30.
+        assert a.value.finished_at == pytest.approx(30.0)
+        assert b.value.finished_at == pytest.approx(30.0)
+
+    def test_negative_interference_rejected(self):
+        with pytest.raises(ResourceError):
+            processor_sharing(interference=-0.1)
+
+    def test_max_concurrent_queues_excess(self, sim):
+        disk = RateResource(sim, processor_sharing(max_concurrent=1),
+                            "disk")
+        a = disk.submit(5.0)
+        b = disk.submit(5.0)
+        drain(sim)
+        assert a.value.finished_at == pytest.approx(5.0)
+        assert b.value.finished_at == pytest.approx(10.0)
+
+    def test_late_arrival_shares_remaining_work(self, sim):
+        disk = RateResource(sim, processor_sharing(), "disk")
+        first = disk.submit(10.0)
+
+        def late():
+            yield sim.timeout(5.0)
+            second = disk.submit(10.0)
+            yield second
+            return second.value.finished_at
+        process = sim.spawn(late())
+        drain(sim)
+        # First runs alone 5s (5 left), then shares: 5 more each in
+        # parallel takes 10s -> first done at 15; second needs 10 at
+        # half rate until 15 (5 done), then full rate: 15 + 5 = 20.
+        assert first.value.finished_at == pytest.approx(15.0)
+        assert process.value == pytest.approx(20.0)
+
+
+class TestAccounting:
+    def test_served_by_tag_accumulates_work(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(3.0, tag="A")
+        cpu.submit(4.0, tag="A")
+        cpu.submit(5.0, tag="B")
+        drain(sim)
+        assert cpu.served_by_tag["A"] == pytest.approx(7.0)
+        assert cpu.served_by_tag["B"] == pytest.approx(5.0)
+
+    def test_cancel_removes_waiting_task(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(5.0)
+        waiting = cpu.submit(5.0)
+        assert cpu.cancel(waiting) is True
+        drain(sim)
+        assert sim.now == pytest.approx(5.0)
+        assert not waiting.triggered
+
+    def test_cancel_unknown_event_returns_false(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        assert cpu.cancel(sim.event()) is False
+
+    def test_segments_merge_contiguous_levels(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(2.0)
+        cpu.submit(3.0)
+        drain(sim)
+        cpu.close_segments()
+        assert len(cpu.segments) == 1
+        assert cpu.segments[0].duration == pytest.approx(5.0)
+
+    def test_idle_gap_splits_segments(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(2.0)
+
+        def later():
+            yield sim.timeout(5.0)
+            yield cpu.submit(1.0)
+        sim.spawn(later())
+        drain(sim)
+        cpu.close_segments()
+        assert len(cpu.segments) == 2
+        assert cpu.busy_seconds == pytest.approx(3.0)
