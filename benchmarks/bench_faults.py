@@ -1,0 +1,27 @@
+"""Fault tolerance under seeded crash/straggler/drop injection."""
+
+from repro.experiments import faults
+from repro.faults.plan import FaultKind
+
+
+def test_fault_injection_recovery(once):
+    result = once(faults.run, scale=0.5)
+    print()
+    print(faults.report(result))
+
+    # Faults cost time, never correctness: every job still finishes.
+    assert len(result.faulty.finished) == len(result.baseline.finished)
+    assert not result.faulty.failed
+    # The plan actually exercised all three fault classes.
+    assert result.plan.of_kind(FaultKind.MACHINE_CRASH)
+    assert result.plan.of_kind(FaultKind.MACHINE_SLOWDOWN)
+    assert result.plan.of_kind(FaultKind.NETWORK_DROP)
+    # Injected faults slow the run down, within reason.
+    assert 1.0 <= result.makespan_inflation < 2.0
+    # Recovery accounting is live: every detected crash was recovered
+    # from (no job left stranded) and the rollbacks were measured.
+    summary = result.fault_summary
+    assert summary.unrecovered_jobs == 0
+    if summary.n_crashes:
+        assert summary.mean_detection_seconds > 0
+    assert summary.lost_iterations >= 0

@@ -26,6 +26,11 @@ class Cluster:
                               for i in range(n_machines))
         self._free: list[int] = list(range(n_machines))
         self._owner_of: dict[int, str] = {}
+        #: Machines out of service (crashed, not yet repaired).  A
+        #: failed machine is never handed out by :meth:`allocate`; if it
+        #: was owned when it failed, the owner's eventual release parks
+        #: it here instead of returning it to the free pool.
+        self._failed: set[int] = set()
 
     # -- inspection ----------------------------------------------------
 
@@ -40,6 +45,15 @@ class Cluster:
     @property
     def n_allocated(self) -> int:
         return self.size - self.n_free
+
+    @property
+    def n_failed(self) -> int:
+        return len(self._failed)
+
+    def is_failed(self, machine_id: int) -> bool:
+        if not 0 <= machine_id < self.size:
+            raise ClusterError(f"unknown machine id {machine_id}")
+        return machine_id in self._failed
 
     def owned_by(self, owner: str) -> tuple[int, ...]:
         """Machine ids currently held by ``owner``."""
@@ -84,7 +98,8 @@ class Cluster:
                     f"machine {mid} is owned by {actual!r}, not {owner!r}")
         for mid in ids:
             del self._owner_of[mid]
-            self._free.append(mid)
+            if mid not in self._failed:
+                self._free.append(mid)
 
     def release_all(self, owner: str) -> int:
         """Release every machine held by ``owner``; returns the count."""
@@ -92,6 +107,34 @@ class Cluster:
         if ids:
             self.release(ids, owner)
         return len(ids)
+
+    # -- failure ledger (repro.faults) ---------------------------------
+
+    def mark_failed(self, machine_id: int) -> None:
+        """Take a machine out of service (a crash, §VI fault tolerance).
+
+        A free machine leaves the free pool immediately; an owned
+        machine keeps its owner (the group still references it) but will
+        not return to the pool when released.  Idempotent.
+        """
+        if not 0 <= machine_id < self.size:
+            raise ClusterError(f"unknown machine id {machine_id}")
+        if machine_id in self._failed:
+            return
+        self._failed.add(machine_id)
+        if machine_id in self._free:
+            self._free.remove(machine_id)
+
+    def restore_machine(self, machine_id: int) -> None:
+        """Return a repaired machine to service (and to the free pool
+        unless some owner still holds it).  Idempotent."""
+        if not 0 <= machine_id < self.size:
+            raise ClusterError(f"unknown machine id {machine_id}")
+        if machine_id not in self._failed:
+            return
+        self._failed.discard(machine_id)
+        if machine_id not in self._owner_of:
+            self._free.append(machine_id)
 
     def reassign(self, machine_ids: Sequence[int], old_owner: str,
                  new_owner: str) -> None:

@@ -139,6 +139,12 @@ class GroupRuntime:
         self._pause_requested: set[str] = set()
         self._duration_jitter_cv = execution.duration_jitter_cv * (
             3.0 if mode is ExecutionMode.NAIVE else 1.0)
+        # Fault-injection multipliers (repro.faults): the group advances
+        # in lockstep, so one straggling machine stretches every COMP
+        # subtask, and a lossy link stretches every COMM subtask
+        # (retransmits).  Overlapping windows compose multiplicatively.
+        self._fault_cpu_factor = 1.0
+        self._fault_net_factor = 1.0
 
     # -- inspection ------------------------------------------------------------
 
@@ -286,7 +292,8 @@ class GroupRuntime:
 
             # PULL subtask (network).
             t_pull = (profile.t_pull * barrier * self._jitter(job_id)
-                      * self._comm_interference())
+                      * self._comm_interference()
+                      * self._fault_net_factor)
             record_pull = yield self.net.submit(t_pull, tag=job_id)
 
             # Wait for this iteration's disk-side blocks (§IV-C): the
@@ -299,7 +306,8 @@ class GroupRuntime:
 
             # COMP subtask (CPU), inflated by GC pressure.
             gc_factor = self.memory.gc_inflation()
-            t_comp_base = profile.t_comp * barrier * self._jitter(job_id)
+            t_comp_base = (profile.t_comp * barrier * self._jitter(job_id)
+                           * self._fault_cpu_factor)
             record_comp = yield self.cpu.submit(t_comp_base * gc_factor,
                                                 tag=job_id)
 
@@ -308,7 +316,8 @@ class GroupRuntime:
 
             # PUSH subtask (network).
             t_push = (profile.t_push * barrier * self._jitter(job_id)
-                      * self._comm_interference())
+                      * self._comm_interference()
+                      * self._fault_net_factor)
             record_push = yield self.net.submit(t_push, tag=job_id)
 
             now = self.sim.now
@@ -381,6 +390,26 @@ class GroupRuntime:
             job.group_id = None
 
     # -- failure injection (§VI fault tolerance) ----------------------------------
+
+    def apply_cpu_slowdown(self, factor: float) -> None:
+        """Open a straggler window: COMP subtasks stretch by ``factor``."""
+        if factor <= 0:
+            raise SimulationError(f"slowdown factor must be > 0: {factor}")
+        self._fault_cpu_factor *= factor
+
+    def clear_cpu_slowdown(self, factor: float) -> None:
+        """Close a straggler window previously opened with ``factor``."""
+        self._fault_cpu_factor /= factor
+
+    def apply_net_penalty(self, factor: float) -> None:
+        """Open a lossy-link window: COMM subtasks stretch by ``factor``."""
+        if factor <= 0:
+            raise SimulationError(f"penalty factor must be > 0: {factor}")
+        self._fault_net_factor *= factor
+
+    def clear_net_penalty(self, factor: float) -> None:
+        """Close a lossy-link window previously opened with ``factor``."""
+        self._fault_net_factor /= factor
 
     def crash(self) -> list[Job]:
         """A machine/process failure takes the whole group down.

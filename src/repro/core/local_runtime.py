@@ -198,8 +198,9 @@ class LocalHarmonyRuntime:
                     with self._acquire(self._net_token):
                         params = client.pull()
                     pull_seconds = time.perf_counter() - pull_started
-                    self._synchronizer.arrive(job.job_id, epoch,
-                                              SubTaskKind.PULL)
+                    if not self._synchronizer.arrive(job.job_id, epoch,
+                                                     SubTaskKind.PULL):
+                        break  # barrier force-released (worker loss)
                     # COMP subtask (CPU-dominant, one at a time).
                     compute_started = time.perf_counter()
                     with self._acquire(self._cpu_token):

@@ -34,6 +34,7 @@ from repro.core.regroup import (
 )
 from repro.core.scheduler import HarmonyScheduler, SchedulePlan
 from repro.errors import SchedulingError
+from repro.metrics.faults import FaultLog, FaultRecord
 from repro.metrics.utilization import ClusterUsageRecorder, DecisionRecord
 from repro.sim import RandomStreams, Simulator
 from repro.sim.resources import RateResource
@@ -89,7 +90,8 @@ class HarmonyMaster:
                  streams: RandomStreams,
                  recorder: ClusterUsageRecorder,
                  perf_model: Optional[PerfModel] = None,
-                 scheduler_factory=None):
+                 scheduler_factory=None,
+                 fault_log: Optional[FaultLog] = None):
         self.sim = sim
         self.cluster = cluster
         self.cost_model = cost_model
@@ -125,6 +127,8 @@ class HarmonyMaster:
         self.finished_cycles: list = []
         #: Count of machine failures processed (§VI fault tolerance).
         self.failures_injected = 0
+        #: Recovery accounting sink (repro.faults); optional.
+        self.fault_log = fault_log
 
     # ------------------------------------------------------------------ API
 
@@ -246,6 +250,7 @@ class HarmonyMaster:
                 # Memory probe passed but admission failed; undo.
                 job.state = previous_state
                 continue
+            self._note_recovered(job)
             self._note_membership_change(target)
             if previous_state is JobState.WAITING:
                 self._waiting.remove(job.job_id)
@@ -273,18 +278,24 @@ class HarmonyMaster:
 
     # ---------------------------------------------------- failure injection
 
-    def inject_machine_failure(self, machine_id: int) -> list[str]:
+    def inject_machine_failure(self, machine_id: int,
+                               fault_record: Optional[FaultRecord] = None,
+                               ) -> list[str]:
         """A machine dies: the group on it crashes and every co-located
         job restarts from its last checkpoint (§VI fault tolerance).
 
         Returns the ids of the affected jobs.  The machine itself
-        returns to service (the paper's failures are process-level:
-        "the shared runtime catches all exceptions ... a machine/
-        process failure may have an impact on all co-located jobs").
+        returns to service unless the cluster's failure ledger says
+        otherwise (the legacy ``failure_times`` path models the paper's
+        process-level failures: "the shared runtime catches all
+        exceptions ... a machine/process failure may have an impact on
+        all co-located jobs"; the :mod:`repro.faults` injector marks
+        the machine failed first and repairs it after a downtime).
         """
         owner = self.cluster.owner_of(machine_id)
         group = self.groups.get(owner) if owner else None
         if group is None:
+            self.failures_injected += 1
             return []  # free machine, or a non-group owner
         group_id = group.group_id
         self._close_decision(group, self.sim.now)
@@ -298,18 +309,57 @@ class HarmonyMaster:
             self._rebuild.draining.discard(group_id)
 
         lost = self.config.execution.checkpoint_interval_iterations
+        lost_total = 0
+        rerun_seconds = 0.0
         for job in victims:
             # Restart from the last checkpoint: the in-flight progress
             # since then is gone.
+            before = job.remaining_iterations
             job.remaining_iterations = min(
                 job.spec.iterations, job.remaining_iterations + lost)
+            lost_total += job.remaining_iterations - before
+            if self.profiler.has(job.job_id):
+                metrics = self.profiler.get(job.job_id)
+                rerun_seconds += ((job.remaining_iterations - before)
+                                  * metrics.t_iteration_at(
+                                      group.n_machines))
             if job.state is not JobState.PAUSED:
                 job.transition(JobState.PAUSED)
             job.migrations += 1
             self._pending_moves.pop(job.job_id, None)
+        if self.fault_log is not None and fault_record is not None:
+            fault_record.group_id = group_id
+            self.fault_log.jobs_displaced(
+                fault_record, at=self.sim.now,
+                job_ids=tuple(job.job_id for job in victims),
+                lost_iterations=lost_total,
+                rerun_work_seconds=rerun_seconds)
         self._check_rebuild()
         self._pump()
         return [job.job_id for job in victims]
+
+    def on_machine_failure(self, machine_id: int,
+                           fault_record: Optional[FaultRecord] = None,
+                           ) -> list[str]:
+        """Heartbeat-loss entry point (called by the health monitor).
+
+        The crash path is the same as direct injection; detection
+        latency has already elapsed on the simulator clock, so recovery
+        measurements naturally include it.
+        """
+        return self.inject_machine_failure(machine_id,
+                                           fault_record=fault_record)
+
+    def machine_repaired(self, machine_id: int) -> None:
+        """A failed machine rejoined the pool: admit waiting work."""
+        del machine_id  # the pump re-reads the free pool itself
+        self._check_rebuild()
+        self._pump()
+
+    def _note_recovered(self, job: Job) -> None:
+        """Tell the fault log a displaced job is executing again."""
+        if self.fault_log is not None:
+            self.fault_log.job_recovered(job.job_id, self.sim.now)
 
     # ------------------------------------------- periodic improvement check
 
@@ -670,6 +720,7 @@ class HarmonyMaster:
         self._pending_moves.pop(job.job_id, None)
         if job.state is not JobState.RUNNING:
             job.transition(JobState.RUNNING)
+        self._note_recovered(job)
         if restore:
             self.migration_overhead_seconds += \
                 self.cost_model.disk.restore_seconds(

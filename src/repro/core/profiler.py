@@ -80,13 +80,23 @@ class Profiler:
             updated = JobMetrics(job_id=job_id, cpu_work=work, t_net=t_net,
                                  m_observed=m, samples=1)
         else:
+            # Bias-corrected EMA: with a plain EMA the first observation
+            # enters with full weight, so one iteration measured at an
+            # atypical DoP (or hit by a straggler) skews the average for
+            # the job's whole lifetime.  Scaling the step by
+            # 1 / (1 - (1-a)^t) makes the first few samples an ordinary
+            # arithmetic mean that smoothly turns into the steady-state
+            # EMA — the moving average §IV-B1 intends.
             a = self.ema_alpha
+            samples = current.samples + 1
+            if a < 1.0:
+                a = a / (1.0 - (1.0 - a) ** samples)
             updated = JobMetrics(
                 job_id=job_id,
                 cpu_work=(1 - a) * current.cpu_work + a * work,
                 t_net=(1 - a) * current.t_net + a * t_net,
                 m_observed=m,
-                samples=current.samples + 1)
+                samples=samples)
         self._metrics[job_id] = updated
         return updated
 

@@ -21,6 +21,7 @@ from repro.core.job import Job, JobState
 from repro.core.master import HarmonyMaster
 from repro.core.perfmodel import PerfModel
 from repro.errors import SimulationError
+from repro.metrics.faults import FaultLog
 from repro.metrics.utilization import ClusterUsageRecorder
 from repro.metrics.timeline import Timeline
 from repro.sim import RandomStreams, Simulator
@@ -62,6 +63,8 @@ class RunResult:
     gc_seconds: float = 0.0
     stall_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Recovery accounting when a fault plan was injected (else None).
+    fault_log: Optional[FaultLog] = None
 
     # -- headline numbers -------------------------------------------------
 
@@ -148,6 +151,13 @@ class RunResult:
             f"avg CPU util: {self.average_utilization('cpu'):.1%}",
             f"avg net util: {self.average_utilization('net'):.1%}",
         ]
+        if self.fault_log is not None and self.fault_log.records:
+            s = self.fault_log.summary()
+            lines.append(
+                f"faults: {s.n_crashes} crashes / {s.n_slowdowns} "
+                f"slowdowns / {s.n_drops} drops; "
+                f"{s.lost_iterations} iterations lost, mean recovery "
+                f"{s.mean_recovery_seconds / 60:.1f} min")
         return "\n".join(lines)
 
 
@@ -160,7 +170,10 @@ class HarmonyRuntime:
                  cost_model: Optional[CostModel] = None,
                  scheduler_factory=None,
                  scheduler_name: str = "harmony",
-                 failure_times: Optional[Sequence[float]] = None):
+                 failure_times: Optional[Sequence[float]] = None,
+                 fault_plan=None,
+                 heartbeat_interval: float = 30.0,
+                 heartbeat_timeout: float = 90.0):
         self.config = config
         self.sim = Simulator()
         self.cluster = Cluster(n_machines, config.machine)
@@ -169,13 +182,28 @@ class HarmonyRuntime:
         self.streams = RandomStreams(config.seed)
         self.recorder = ClusterUsageRecorder(
             n_machines, bin_seconds=config.utilization_bin_seconds)
+        self.fault_log = FaultLog() if fault_plan is not None else None
         self.master = HarmonyMaster(self.sim, self.cluster,
                                     self.cost_model, config, self.streams,
                                     self.recorder, perf_model=perf_model,
-                                    scheduler_factory=scheduler_factory)
+                                    scheduler_factory=scheduler_factory,
+                                    fault_log=self.fault_log)
         self.workload = list(workload)
         self.scheduler_name = scheduler_name
         self.failure_times = sorted(failure_times or [])
+        self.fault_plan = fault_plan
+        self.monitor = None
+        self.injector = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+            from repro.faults.monitor import HealthMonitor
+            self.monitor = HealthMonitor(
+                self.sim, self.cluster, self.master,
+                interval=heartbeat_interval, timeout=heartbeat_timeout,
+                log=self.fault_log)
+            self.injector = FaultInjector(self.sim, self.cluster,
+                                          self.master, self.monitor,
+                                          fault_plan, log=self.fault_log)
 
     def _fail_random_machine(self) -> None:
         """Kill a uniformly chosen allocated machine (§VI failures)."""
@@ -198,17 +226,31 @@ class HarmonyRuntime:
         """
         interval = self.config.scheduler.reschedule_check_seconds
         total = len(self.workload)
-        while True:
-            yield self.sim.timeout(interval)
-            self.master.periodic_check()
-            if len(self.master.jobs) >= total and self.master.all_done:
-                return
-            if (len(self.master.jobs) >= total
-                    and not self.master.groups
-                    and self.master._rebuild is None):
-                # Everything submitted, nothing running, and the pump
-                # could not place anything: give up rather than spin.
-                return
+        try:
+            while True:
+                yield self.sim.timeout(interval)
+                self.master.periodic_check()
+                if len(self.master.jobs) >= total and self.master.all_done:
+                    return
+                if (len(self.master.jobs) >= total
+                        and not self.master.groups
+                        and self.master._rebuild is None
+                        and not self._recovery_pending()):
+                    # Everything submitted, nothing running, and the pump
+                    # could not place anything: give up rather than spin.
+                    return
+        finally:
+            # The heartbeat loop would otherwise keep the event queue
+            # alive forever once the workload has terminated.
+            if self.monitor is not None:
+                self.monitor.stop()
+
+    def _recovery_pending(self) -> bool:
+        """Whether crashed machines will still come back and unblock
+        paused jobs (don't declare a stall during a downtime window).
+        Permanently failed machines (no scheduled repair) don't count."""
+        return (self.injector is not None
+                and self.injector.pending_repairs > 0)
 
     def run(self, max_sim_seconds: Optional[float] = None,
             max_events: Optional[int] = None) -> RunResult:
@@ -220,6 +262,9 @@ class HarmonyRuntime:
                              lambda s=spec: self.master.submit(s))
         for when in self.failure_times:
             self.sim.call_at(when, self._fail_random_machine)
+        if self.injector is not None:
+            self.injector.install()
+            self.monitor.start()
         self.sim.spawn(self._pacer(), name="periodic-reschedule")
         self.sim.run(until=max_sim_seconds, max_events=max_events)
 
@@ -255,4 +300,5 @@ class HarmonyRuntime:
             alpha_samples=[c.alpha for c in all_cycles],
             gc_seconds=sum(c.gc_overhead for c in all_cycles),
             stall_seconds=sum(c.stall for c in all_cycles),
-            wall_seconds=_time.perf_counter() - wall_start)
+            wall_seconds=_time.perf_counter() - wall_start,
+            fault_log=self.fault_log)

@@ -71,6 +71,33 @@ class SchedulePlan:
         return "\n".join(lines)
 
 
+def argmin_convex(cost, low: int, high: int) -> int:
+    """Smallest integer minimizer of a convex cost on ``[low, high]``.
+
+    Ternary search with *non-strict* window shrinking: on a tie
+    (``cost(mid1) == cost(mid2)``) the minimum lies anywhere inside
+    ``[mid1, mid2]``, so the window shrinks to exactly that span instead
+    of discarding an endpoint — the strict ``<``/exclusive variant can
+    drop the true minimizer when the cost is piecewise-linear with flat
+    segments (e.g. Σ|W_j·n_g/M − T_net_j|, whose bottom is often a
+    plateau).  Once the window is small the remaining points are scanned
+    linearly; ties resolve to the smallest argument.
+    """
+    if low > high:
+        raise SchedulingError(f"empty search window [{low}, {high}]")
+    while high - low > 2:
+        mid1 = low + (high - low) // 3
+        mid2 = high - (high - low) // 3
+        c1, c2 = cost(mid1), cost(mid2)
+        if c1 < c2:
+            high = mid2          # minimum is left of mid2
+        elif c1 > c2:
+            low = mid1           # minimum is right of mid1
+        else:
+            low, high = mid1, mid2  # plateau: minimum within [mid1, mid2]
+    return min(range(low, high + 1), key=cost)
+
+
 def _prefix_sizes(n: int):
     """Candidate-set sizes for Algorithm 1's outer loop.
 
@@ -221,12 +248,6 @@ class HarmonyScheduler:
         # cost(n_g) = Σ|W_j · n_g / M − T_net_j| is convex in n_g, so a
         # ternary search finds the minimum in O(log M) evaluations —
         # needed for the §V-F scale (thousands of jobs and machines).
-        low, high = min_groups, max_groups
-        while high - low > 2:
-            mid1 = low + (high - low) // 3
-            mid2 = high - (high - low) // 3
-            if cost(mid1) < cost(mid2):
-                high = mid2 - 1
-            else:
-                low = mid1 + 1
-        return min(range(low, high + 1), key=cost)
+        # Flat bottom segments are common (the absolute values cancel
+        # over whole intervals), hence the plateau-safe variant.
+        return argmin_convex(cost, min_groups, max_groups)

@@ -9,6 +9,13 @@ subtask of that step is complete.
 This is the thread-based implementation used by the local runtime; the
 cluster simulator models the same barrier analytically (the
 ``barrier_overhead`` factor).
+
+Fault handling: a worker that dies mid-iteration would leave its peers
+blocked at the barrier until the timeout kills the whole run.  The
+master instead calls :meth:`SubTaskSynchronizer.release_job` (or
+:meth:`unregister_job`) when it detects the loss; blocked workers then
+return ``False`` from :meth:`arrive` so the job can checkpoint and
+regroup instead of crashing.
 """
 
 from __future__ import annotations
@@ -27,6 +34,13 @@ class SubTaskSynchronizer:
         self._condition = threading.Condition()
         self._arrived: dict[tuple[str, int, SubTaskKind], int] = {}
         self._expected: dict[str, int] = {}
+        #: Highest iteration whose barrier fully passed, per (job, kind).
+        #: Completed keys are dropped from ``_arrived`` so barrier state
+        #: stays bounded over a job's lifetime; this high-water mark
+        #: keeps late over-arrivals detectable.
+        self._completed: dict[tuple[str, SubTaskKind], int] = {}
+        #: Jobs whose barriers were force-released (worker loss).
+        self._released: set[str] = set()
         self._timeout = timeout
 
     def register_job(self, job_id: str, n_workers: int) -> None:
@@ -34,34 +48,92 @@ class SubTaskSynchronizer:
             raise SimulationError(f"job {job_id}: need >= 1 worker")
         with self._condition:
             self._expected[job_id] = n_workers
+            self._released.discard(job_id)
+            # A fresh registration (e.g. resume after a fault) starts
+            # with clean barrier state.
+            for key in [k for k in self._arrived if k[0] == job_id]:
+                del self._arrived[key]
+            for key in [k for k in self._completed if k[0] == job_id]:
+                del self._completed[key]
 
     def unregister_job(self, job_id: str) -> None:
+        """Drop all barrier state of a job, waking blocked workers.
+
+        Workers blocked in :meth:`arrive` return ``False``.
+        """
         with self._condition:
             self._expected.pop(job_id, None)
             for key in [k for k in self._arrived if k[0] == job_id]:
                 del self._arrived[key]
+            for key in [k for k in self._completed if k[0] == job_id]:
+                del self._completed[key]
+            self._condition.notify_all()
+
+    def release_job(self, job_id: str) -> None:
+        """Force-release a registered job's barriers (fault path).
+
+        Unlike :meth:`unregister_job`, the job stays registered: the
+        master typically pauses/checkpoints it next, and a later
+        :meth:`register_job` (on resume, possibly with a different
+        worker count) clears the released flag.  Blocked workers return
+        ``False`` from :meth:`arrive`, as do subsequent arrivals, so
+        every worker observes the release exactly once per call site.
+        """
+        with self._condition:
+            if job_id not in self._expected:
+                return
+            self._released.add(job_id)
+            for key in [k for k in self._arrived if k[0] == job_id]:
+                del self._arrived[key]
+            self._condition.notify_all()
 
     def arrive(self, job_id: str, iteration: int,
-               kind: SubTaskKind) -> None:
-        """Block until all of the job's workers complete this step."""
+               kind: SubTaskKind) -> bool:
+        """Block until all of the job's workers complete this step.
+
+        Returns ``True`` when the barrier passed normally and ``False``
+        when the job was released or unregistered while waiting — the
+        caller should abandon the iteration (checkpoint / exit) rather
+        than proceed.
+        """
         key = (job_id, iteration, kind)
+        watermark = (job_id, kind)
         with self._condition:
             expected = self._expected.get(job_id)
             if expected is None:
                 raise SimulationError(f"job {job_id} is not registered")
-            self._arrived[key] = self._arrived.get(key, 0) + 1
-            if self._arrived[key] > expected:
+            if job_id in self._released:
+                return False
+            if iteration <= self._completed.get(watermark, -1):
                 raise SimulationError(
                     f"{key}: more arrivals than workers ({expected})")
+            count = self._arrived.get(key, 0) + 1
+            if count > expected:
+                raise SimulationError(
+                    f"{key}: more arrivals than workers ({expected})")
+            if count == expected:
+                # Barrier complete: retire the key so state stays
+                # bounded, record the high-water mark, wake the peers.
+                self._arrived.pop(key, None)
+                self._completed[watermark] = max(
+                    self._completed.get(watermark, -1), iteration)
+                self._condition.notify_all()
+                return True
+            self._arrived[key] = count
             self._condition.notify_all()
-            done = self._condition.wait_for(
-                lambda: self._arrived.get(key, 0) >= expected
-                or job_id not in self._expected,
-                timeout=self._timeout)
+
+            def ready() -> bool:
+                return (self._completed.get(watermark, -1) >= iteration
+                        or job_id not in self._expected
+                        or job_id in self._released)
+
+            done = self._condition.wait_for(ready, timeout=self._timeout)
             if not done:
                 raise SimulationError(
                     f"barrier timeout at {key}: "
                     f"{self._arrived.get(key, 0)}/{expected} arrived")
+            return (job_id in self._expected
+                    and job_id not in self._released)
 
     def pending(self, job_id: str) -> Optional[int]:
         """Number of open barriers for a job (diagnostics)."""

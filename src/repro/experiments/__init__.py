@@ -11,6 +11,7 @@ from repro.experiments import (
     common,
     design_ablations,
     extensions,
+    faults,
     fig02_single_job,
     fig03_dop_sweep,
     fig04_naive_colocation,
@@ -33,6 +34,7 @@ __all__ = [
     "common",
     "design_ablations",
     "extensions",
+    "faults",
     "fig02_single_job",
     "fig03_dop_sweep",
     "fig04_naive_colocation",

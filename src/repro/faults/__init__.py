@@ -1,0 +1,21 @@
+"""Fault injection and recovery (§VI fault tolerance, production-ized).
+
+Seeded :class:`FaultPlan` schedules of machine crashes, stragglers, and
+transient network drops; a :class:`FaultInjector` that applies them to
+the cluster simulator; and a heartbeat :class:`HealthMonitor` through
+which the master detects dead machines and drives the pause →
+checkpoint → regroup → resume recovery path.  Recovery accounting lives
+in :mod:`repro.metrics.faults`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import HealthMonitor
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "HealthMonitor",
+]

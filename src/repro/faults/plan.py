@@ -1,0 +1,161 @@
+"""Seeded fault plans for the cluster simulator.
+
+A :class:`FaultPlan` is a deterministic, time-ordered list of fault
+events — machine crashes, machine slowdowns (stragglers), and transient
+network drops — generated from a seed through the simulation's named
+random streams, so the same seed always reproduces the identical event
+timeline (and therefore an identical simulated run).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.rand import RandomStreams
+
+
+class FaultKind(enum.Enum):
+    """The fault classes the injector knows how to apply."""
+
+    #: The machine dies; its group crashes and the machine stays out of
+    #: service for ``duration`` seconds before rejoining the pool.
+    MACHINE_CRASH = "machine_crash"
+    #: The machine straggles: every COMP subtask of the hosting group
+    #: stretches by ``severity`` for ``duration`` seconds (lockstep
+    #: workers advance at the slowest machine's pace).
+    MACHINE_SLOWDOWN = "machine_slowdown"
+    #: The machine's link drops packets: COMM subtasks of the hosting
+    #: group stretch by ``severity`` (retransmits) for ``duration``
+    #: seconds.
+    NETWORK_DROP = "network_drop"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    time: float
+    kind: FaultKind
+    machine_id: int
+    #: Window length (slowdown/drop) or machine downtime (crash).
+    duration: float = 0.0
+    #: Multiplicative slowdown of the affected subtasks (ignored for
+    #: crashes).
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise SimulationError(f"fault at negative time {self.time}")
+        if self.duration < 0:
+            raise SimulationError(
+                f"fault duration must be >= 0, got {self.duration}")
+        if self.kind is not FaultKind.MACHINE_CRASH and self.severity <= 1.0:
+            raise SimulationError(
+                f"{self.kind.value} severity must exceed 1.0 "
+                f"(got {self.severity})")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, time-ordered fault schedule."""
+
+    events: tuple[FaultEvent, ...]
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        times = [event.time for event in self.events]
+        if times != sorted(times):
+            object.__setattr__(
+                self, "events",
+                tuple(sorted(self.events, key=lambda e: e.time)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind is kind)
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan: {len(self.events)} events"
+                 + (f" (seed {self.seed})" if self.seed is not None
+                    else "")]
+        for event in self.events:
+            lines.append(
+                f"  t={event.time:9.1f}s {event.kind.value:17s} "
+                f"machine={event.machine_id} dur={event.duration:.0f}s "
+                f"sev={event.severity:.1f}")
+        return "\n".join(lines)
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def build(events: Iterable[FaultEvent],
+              seed: Optional[int] = None) -> "FaultPlan":
+        return FaultPlan(events=tuple(events), seed=seed)
+
+    @staticmethod
+    def generate(seed: int, n_machines: int, horizon_seconds: float,
+                 crash_rate_per_hour: float = 0.0,
+                 slowdown_rate_per_hour: float = 0.0,
+                 drop_rate_per_hour: float = 0.0,
+                 crash_downtime_seconds: float = 1800.0,
+                 slowdown_seconds: float = 900.0,
+                 slowdown_severity: float = 3.0,
+                 drop_seconds: float = 120.0,
+                 drop_severity: float = 2.0) -> "FaultPlan":
+        """A seeded Poisson fault schedule over ``[0, horizon_seconds)``.
+
+        Each fault class arrives as an independent Poisson process
+        (exponential inter-arrival at the given cluster-wide rate) and
+        strikes a uniformly random machine.  All draws go through
+        dedicated :class:`~repro.sim.rand.RandomStreams` streams, so the
+        plan is a pure function of its arguments.
+        """
+        if n_machines < 1:
+            raise SimulationError(f"need >= 1 machine, got {n_machines}")
+        if horizon_seconds <= 0:
+            raise SimulationError(
+                f"horizon must be positive, got {horizon_seconds}")
+        streams = RandomStreams(seed).spawn("fault-plan")
+        events: list[FaultEvent] = []
+
+        def arrivals(name: str, rate_per_hour: float) -> list[float]:
+            if rate_per_hour <= 0:
+                return []
+            rng = streams.stream(f"arrivals:{name}")
+            times = []
+            t = 0.0
+            mean_gap = 3600.0 / rate_per_hour
+            while True:
+                t += float(rng.exponential(mean_gap))
+                if t >= horizon_seconds:
+                    return times
+                times.append(t)
+
+        def target(name: str) -> int:
+            return int(streams.stream(f"target:{name}").integers(
+                0, n_machines))
+
+        for t in arrivals("crash", crash_rate_per_hour):
+            events.append(FaultEvent(
+                time=t, kind=FaultKind.MACHINE_CRASH,
+                machine_id=target("crash"),
+                duration=crash_downtime_seconds))
+        for t in arrivals("slowdown", slowdown_rate_per_hour):
+            events.append(FaultEvent(
+                time=t, kind=FaultKind.MACHINE_SLOWDOWN,
+                machine_id=target("slowdown"),
+                duration=slowdown_seconds, severity=slowdown_severity))
+        for t in arrivals("drop", drop_rate_per_hour):
+            events.append(FaultEvent(
+                time=t, kind=FaultKind.NETWORK_DROP,
+                machine_id=target("drop"),
+                duration=drop_seconds, severity=drop_severity))
+        events.sort(key=lambda e: (e.time, e.kind.value, e.machine_id))
+        return FaultPlan(events=tuple(events), seed=seed)

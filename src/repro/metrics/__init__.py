@@ -1,5 +1,6 @@
 """Measurement: utilization timelines, run statistics, paper-style reports."""
 
+from repro.metrics.faults import FaultLog, FaultRecord, FaultSummary
 from repro.metrics.stats import cdf_points, mean, percentile, speedup
 from repro.metrics.timeline import Timeline, bin_segments
 from repro.metrics.utilization import (
@@ -12,6 +13,9 @@ from repro.metrics.reporting import format_table
 __all__ = [
     "ClusterUsageRecorder",
     "DecisionRecord",
+    "FaultLog",
+    "FaultRecord",
+    "FaultSummary",
     "GroupUsage",
     "Timeline",
     "bin_segments",

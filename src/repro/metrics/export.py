@@ -45,9 +45,16 @@ def export_cdf(path: "str | Path", values: Sequence[float]) -> Path:
     return write_csv(path, ["value", "cumulative_fraction"], rows)
 
 
+def export_fault_log(path: "str | Path", log) -> Path:
+    """One row per injected fault: detection latency, lost iterations,
+    re-run work, and worst per-job recovery time."""
+    return write_csv(path, list(log.CSV_HEADERS), log.rows())
+
+
 def export_run_result(directory: "str | Path", result) -> list[Path]:
     """Everything plottable from one RunResult: per-job outcomes plus
-    CPU/network timelines."""
+    CPU/network timelines (and the fault log when faults were
+    injected)."""
     base = Path(directory)
     written = []
     outcome_rows = []
@@ -66,4 +73,8 @@ def export_run_result(directory: "str | Path", result) -> list[Path]:
         written.append(export_timeline(
             base / f"{result.scheduler_name}_{resource}_timeline.csv",
             result.utilization_timeline(resource)))
+    fault_log = getattr(result, "fault_log", None)
+    if fault_log is not None and fault_log.records:
+        written.append(export_fault_log(
+            base / f"{result.scheduler_name}_faults.csv", fault_log))
     return written

@@ -66,3 +66,20 @@ class TestExports:
         timeline_rows = read_back(
             tmp_path / "harmony_cpu_timeline.csv")
         assert len(timeline_rows) > 10
+
+    def test_run_result_export_includes_fault_log(self, tmp_path):
+        from repro.core import HarmonyRuntime
+        from repro.faults import FaultEvent, FaultKind, FaultPlan
+        from repro.workloads import WorkloadGenerator
+        jobs = WorkloadGenerator(3).base_workload(
+            hyper_params_per_pair=1)
+        plan = FaultPlan.build([FaultEvent(
+            3600.0, FaultKind.MACHINE_CRASH, 5, duration=1800.0)],
+            seed=1)
+        result = HarmonyRuntime(24, jobs, fault_plan=plan).run()
+        written = export_run_result(tmp_path, result)
+        assert len(written) == 4
+        fault_rows = read_back(tmp_path / "harmony_faults.csv")
+        assert fault_rows[0][0] == "time_s"
+        assert len(fault_rows) == 2
+        assert fault_rows[1][1] == "machine_crash"

@@ -1,0 +1,327 @@
+"""Tests for the fault-injection subsystem (repro.faults) and the
+master's crash-recovery path."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import MachineSpec
+from repro.core.runtime import HarmonyRuntime
+from repro.core.subtask import SubTaskKind
+from repro.core.synchronizer import SubTaskSynchronizer
+from repro.errors import SimulationError
+from repro.faults import FaultEvent, FaultKind, FaultPlan, HealthMonitor
+from repro.sim import Simulator
+from repro.workloads.generator import WorkloadGenerator
+
+
+# ---------------------------------------------------------------- plans
+
+
+class TestFaultPlan:
+    def test_same_seed_reproduces_identical_timeline(self):
+        kwargs = dict(seed=11, n_machines=50, horizon_seconds=36_000,
+                      crash_rate_per_hour=0.7,
+                      slowdown_rate_per_hour=1.3,
+                      drop_rate_per_hour=2.0)
+        assert FaultPlan.generate(**kwargs).events == \
+            FaultPlan.generate(**kwargs).events
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(n_machines=50, horizon_seconds=36_000,
+                      crash_rate_per_hour=2.0)
+        assert FaultPlan.generate(seed=1, **kwargs).events != \
+            FaultPlan.generate(seed=2, **kwargs).events
+
+    def test_events_sorted_and_within_horizon(self):
+        plan = FaultPlan.generate(seed=3, n_machines=10,
+                                  horizon_seconds=7200,
+                                  crash_rate_per_hour=1.0,
+                                  drop_rate_per_hour=5.0)
+        times = [e.time for e in plan]
+        assert times == sorted(times)
+        assert all(0 <= t < 7200 for t in times)
+        assert all(0 <= e.machine_id < 10 for e in plan)
+
+    def test_build_sorts_events(self):
+        late = FaultEvent(100.0, FaultKind.MACHINE_CRASH, 0)
+        early = FaultEvent(5.0, FaultKind.NETWORK_DROP, 1,
+                           duration=60.0, severity=2.0)
+        plan = FaultPlan.build([late, early])
+        assert plan.events == (early, late)
+
+    def test_of_kind_filters(self):
+        plan = FaultPlan.generate(seed=5, n_machines=8,
+                                  horizon_seconds=36_000,
+                                  crash_rate_per_hour=0.5,
+                                  slowdown_rate_per_hour=0.5)
+        crashes = plan.of_kind(FaultKind.MACHINE_CRASH)
+        assert all(e.kind is FaultKind.MACHINE_CRASH for e in crashes)
+        assert len(crashes) + len(plan.of_kind(
+            FaultKind.MACHINE_SLOWDOWN)) == len(plan)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FaultEvent(-1.0, FaultKind.MACHINE_CRASH, 0)
+        with pytest.raises(SimulationError):
+            FaultEvent(0.0, FaultKind.MACHINE_CRASH, 0, duration=-5.0)
+        with pytest.raises(SimulationError, match="severity"):
+            FaultEvent(0.0, FaultKind.NETWORK_DROP, 0, duration=10.0,
+                       severity=0.5)
+        with pytest.raises(SimulationError):
+            FaultPlan.generate(seed=1, n_machines=0,
+                               horizon_seconds=100)
+        with pytest.raises(SimulationError):
+            FaultPlan.generate(seed=1, n_machines=4, horizon_seconds=0)
+
+
+# --------------------------------------------- synchronizer fault paths
+
+
+class TestSynchronizerFaultPaths:
+    def test_release_wakes_blocked_worker_with_false(self):
+        synchronizer = SubTaskSynchronizer(timeout=5.0)
+        synchronizer.register_job("j", 2)
+        outcome = []
+
+        def worker():
+            outcome.append(synchronizer.arrive("j", 0, SubTaskKind.PULL))
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let the worker block at the barrier
+        synchronizer.release_job("j")
+        thread.join(timeout=5.0)
+        assert outcome == [False]
+        # Arrivals after the release observe it too (no half-barriers).
+        assert synchronizer.arrive("j", 0, SubTaskKind.PULL) is False
+
+    def test_reregister_clears_release_and_stale_state(self):
+        synchronizer = SubTaskSynchronizer(timeout=5.0)
+        synchronizer.register_job("j", 2)
+        synchronizer.release_job("j")
+        # Resume with a different worker count: barriers work again.
+        synchronizer.register_job("j", 1)
+        assert synchronizer.arrive("j", 0, SubTaskKind.PULL) is True
+
+    def test_release_of_unknown_job_is_a_no_op(self):
+        SubTaskSynchronizer().release_job("ghost")
+
+    def test_completed_barriers_do_not_leak(self):
+        """Regression: completed (job, iteration, kind) keys used to stay
+        in the arrival table forever, growing without bound over a job's
+        lifetime."""
+        synchronizer = SubTaskSynchronizer(timeout=5.0)
+        synchronizer.register_job("j", 2)
+
+        def worker(iterations):
+            for i in range(iterations):
+                for kind in (SubTaskKind.PULL, SubTaskKind.COMP,
+                             SubTaskKind.PUSH):
+                    assert synchronizer.arrive("j", i, kind)
+
+        threads = [threading.Thread(target=worker, args=(40,),
+                                    daemon=True) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not synchronizer._arrived  # nothing retained
+        assert synchronizer.pending("j") == 0
+
+    def test_over_arrival_still_detected_after_completion(self):
+        synchronizer = SubTaskSynchronizer()
+        synchronizer.register_job("j", 1)
+        assert synchronizer.arrive("j", 3, SubTaskKind.PULL)
+        with pytest.raises(SimulationError, match="more arrivals"):
+            synchronizer.arrive("j", 3, SubTaskKind.PULL)
+
+
+# ------------------------------------------------------- health monitor
+
+
+class _RecordingMaster:
+    def __init__(self):
+        self.failures: list[tuple[int, float]] = []
+        self.sim = None
+
+    def on_machine_failure(self, machine_id, fault_record=None):
+        self.failures.append((machine_id, self.sim.now))
+        return []
+
+
+class TestHealthMonitor:
+    def _fixture(self):
+        sim = Simulator()
+        cluster = Cluster(4, MachineSpec())
+        master = _RecordingMaster()
+        master.sim = sim
+        monitor = HealthMonitor(sim, cluster, master,
+                                interval=5.0, timeout=10.0)
+        return sim, cluster, master, monitor
+
+    def test_silenced_machine_detected_after_timeout(self):
+        sim, _cluster, master, monitor = self._fixture()
+        monitor.start()
+        sim.call_at(7.0, lambda: monitor.silence(2, None))
+        sim.run(until=60.0)
+        assert len(master.failures) == 1
+        machine_id, detected_at = master.failures[0]
+        assert machine_id == 2
+        # Silence at t=7, last beat t=5; earliest poll with
+        # now - last_beat >= 10 is t=15.
+        assert detected_at == pytest.approx(15.0)
+        assert monitor.detections == 1
+
+    def test_revived_before_timeout_never_reported(self):
+        sim, _cluster, master, monitor = self._fixture()
+        monitor.start()
+        sim.call_at(6.0, lambda: monitor.silence(1, None))
+        sim.call_at(12.0, lambda: monitor.revive(1))
+        sim.run(until=60.0)
+        assert master.failures == []
+
+    def test_stop_kills_the_heartbeat_loop(self):
+        sim, _cluster, _master, monitor = self._fixture()
+        monitor.start()
+        sim.call_at(20.0, monitor.stop)
+        sim.run()  # would never drain if the loop survived
+        assert sim.now == pytest.approx(20.0)
+
+
+# ------------------------------------------------ end-to-end recovery
+
+
+def _crash_plan(machine_id=5, at=3600.0, downtime=1800.0):
+    return FaultPlan.build([FaultEvent(
+        time=at, kind=FaultKind.MACHINE_CRASH, machine_id=machine_id,
+        duration=downtime)], seed=42)
+
+
+class TestCrashRecoveryEndToEnd:
+    def _run(self):
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        runtime = HarmonyRuntime(24, jobs, fault_plan=_crash_plan())
+        return runtime, runtime.run()
+
+    def test_jobs_regroup_on_survivors_and_all_finish(self):
+        runtime, result = self._run()
+        assert len(result.finished) == 8
+        assert not result.failed
+        assert runtime.master.failures_injected == 1
+
+        log = result.fault_log
+        assert log is not None and len(log.records) == 1
+        record = log.records[0]
+        assert record.kind == "machine_crash"
+        assert record.machine_id == 5
+        # The heartbeat monitor, not an oracle, found the crash: the
+        # detection latency is in (0, interval + timeout].
+        assert 0.0 < record.detection_seconds <= 120.0
+        # The displaced jobs rolled back at most one checkpoint
+        # interval each and every one of them recovered.
+        assert record.job_ids
+        interval = \
+            runtime.config.execution.checkpoint_interval_iterations
+        assert 0 <= record.lost_iterations \
+            <= interval * len(record.job_ids)
+        assert not log.pending_recoveries
+        summary = log.summary()
+        assert summary.n_crashes == 1
+        assert summary.unrecovered_jobs == 0
+        assert summary.max_recovery_seconds >= record.detection_seconds
+
+    def test_same_seed_replays_identically(self):
+        _, first = self._run()
+        _, second = self._run()
+        assert {j: o.finish_time for j, o in first.outcomes.items()} \
+            == {j: o.finish_time for j, o in second.outcomes.items()}
+        assert first.fault_log.rows() == second.fault_log.rows()
+
+    def test_crash_rolls_back_one_checkpoint_interval(self):
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        runtime = HarmonyRuntime(24, jobs)
+        master = runtime.master
+        master.sim.spawn(runtime._pacer(), name="pacer")
+        for spec in runtime.workload:
+            master.sim.call_at(spec.submit_time,
+                               lambda s=spec: master.submit(s))
+        master.sim.run(until=3600.0)
+        victim = next(m.machine_id for m in runtime.cluster.machines
+                      if runtime.cluster.owner_of(m.machine_id))
+        group = master.groups[runtime.cluster.owner_of(victim)]
+        before = {j.job_id: j.remaining_iterations
+                  for j in group.jobs()}
+        displaced = master.inject_machine_failure(victim)
+        assert set(displaced) == set(before)
+        interval = \
+            runtime.config.execution.checkpoint_interval_iterations
+        for job_id in displaced:
+            job = master.jobs[job_id]
+            rollback = job.remaining_iterations - before[job_id]
+            assert 0 <= rollback <= interval
+            # Never rolled back past the job's total work.
+            assert job.remaining_iterations <= job.spec.iterations
+
+
+class TestTransientFaults:
+    def test_slowdown_and_drop_windows_cost_time_not_jobs(self):
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        plan = FaultPlan.build([
+            FaultEvent(3600.0, FaultKind.MACHINE_SLOWDOWN, 3,
+                       duration=1800.0, severity=4.0),
+            FaultEvent(5400.0, FaultKind.NETWORK_DROP, 9,
+                       duration=600.0, severity=2.0),
+        ], seed=1)
+        baseline = HarmonyRuntime(24, jobs).run()
+        faulty = HarmonyRuntime(24, jobs, fault_plan=plan).run()
+        assert len(faulty.finished) == len(baseline.finished)
+        # No crash ⇒ nothing to detect or recover from.
+        summary = faulty.fault_log.summary()
+        assert summary.n_crashes == 0
+        assert summary.n_slowdowns == 1
+        assert summary.n_drops == 1
+        assert summary.unrecovered_jobs == 0
+        # Both windows struck a live group (machines were owned).
+        for record in faulty.fault_log.records:
+            assert record.group_id is not None
+            assert record.job_ids
+
+    def test_fault_on_unknown_machine_rejected(self):
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        plan = FaultPlan.build([FaultEvent(
+            10.0, FaultKind.MACHINE_CRASH, 99)], seed=1)
+        runtime = HarmonyRuntime(24, jobs, fault_plan=plan)
+        with pytest.raises(SimulationError, match="unknown machine"):
+            runtime.injector.install()
+
+
+# --------------------------------------------------- cluster ledger
+
+
+class TestClusterFailureLedger:
+    def test_failed_machine_leaves_and_rejoins_free_pool(self):
+        cluster = Cluster(4, MachineSpec())
+        assert cluster.n_free == 4
+        cluster.mark_failed(2)
+        assert cluster.n_free == 3
+        assert cluster.n_failed == 1
+        assert cluster.is_failed(2)
+        assert 2 not in cluster.allocate(3, "g1")
+        cluster.restore_machine(2)
+        assert cluster.n_failed == 0
+        assert cluster.n_free == 1
+
+    def test_owned_machine_parked_on_release(self):
+        cluster = Cluster(4, MachineSpec())
+        held = cluster.allocate(2, "g1")
+        victim = held[0]
+        cluster.mark_failed(victim)
+        cluster.release_all("g1")
+        # The failed machine must not silently rejoin the free pool.
+        assert cluster.n_free == 3
+        assert cluster.is_failed(victim)
+        cluster.restore_machine(victim)
+        assert cluster.n_free == 4

@@ -141,6 +141,34 @@ class TestProfiler:
         assert metrics.cpu_work == pytest.approx(20.0, rel=0.01)
         assert metrics.t_net == pytest.approx(8.0, rel=0.01)
 
+    def test_atypical_first_sample_is_averaged_away(self):
+        """Regression: the plain EMA anchored on the first observation,
+        so a 10x-slow first iteration (cold caches, lazy init) skewed
+        the estimate for the job's whole lifetime.  The bias-corrected
+        EMA weighs it like any other early sample."""
+        profiler = Profiler(ema_alpha=0.1)
+        profiler.record_iteration("j", t_cpu=100.0, t_net=40.0, m=1)
+        for _ in range(9):
+            profiler.record_iteration("j", t_cpu=10.0, t_net=4.0, m=1)
+        metrics = profiler.get("j")
+        # The uncorrected EMA would still read ~44.9 here (the outlier
+        # retains weight (1-a)^9 ~ 0.39); bias correction shrinks its
+        # weight to a(1-a)^9 / (1-(1-a)^10) ~ 0.06.
+        assert metrics.cpu_work < 20.0
+        assert metrics.t_net < 8.0
+
+    def test_bias_corrected_ema_is_geometric_weighted_mean(self):
+        alpha = 0.3
+        samples = [12.0, 7.0, 9.5, 30.0, 8.0]
+        profiler = Profiler(ema_alpha=alpha)
+        for value in samples:
+            profiler.record_iteration("j", t_cpu=value, t_net=1.0, m=1)
+        n = len(samples)
+        weights = [alpha * (1 - alpha) ** (n - 1 - i) for i in range(n)]
+        expected = sum(w * v for w, v in zip(weights, samples)) \
+            / sum(weights)
+        assert profiler.get("j").cpu_work == pytest.approx(expected)
+
     def test_cpu_work_is_dop_normalized(self):
         """Measurements at different DoPs agree on the work constant."""
         profiler = Profiler(ema_alpha=1.0)

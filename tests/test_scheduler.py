@@ -5,7 +5,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import SchedulerConfig
 from repro.core.profiler import JobMetrics
-from repro.core.scheduler import HarmonyScheduler, _prefix_sizes
+from repro.core.scheduler import (
+    HarmonyScheduler,
+    _prefix_sizes,
+    argmin_convex,
+)
 from repro.errors import SchedulingError
 
 
@@ -39,6 +43,55 @@ class TestPrefixSizes:
 
     def test_zero_jobs(self):
         assert list(_prefix_sizes(0)) == []
+
+
+class TestArgminConvex:
+    """Regression: the L6 ternary search used a strict comparison and
+    could discard the true minimizer when the convex cost is flat
+    around the minimum (the balance cost is piecewise-linear, so exact
+    plateaus happen)."""
+
+    def test_flat_bottom_plateau(self):
+        # Flat and minimal on [10, 20]; the answer must land there.
+        cost = lambda n: max(0, abs(n - 15) - 5)  # noqa: E731
+        best = argmin_convex(cost, 1, 64)
+        assert cost(best) == 0
+
+    def test_plateau_touching_window_edge(self):
+        # Minimal plateau is the tail [50, 64]: every probe pair in the
+        # middle compares equal-or-decreasing toward the edge.
+        cost = lambda n: max(0, 50 - n)  # noqa: E731
+        assert cost(argmin_convex(cost, 1, 64)) == 0
+        cost = lambda n: max(0, n - 3)  # noqa: E731 (head plateau)
+        assert cost(argmin_convex(cost, 1, 64)) == 0
+
+    def test_strictly_convex_exact(self):
+        for target in (1, 2, 17, 63, 64):
+            assert argmin_convex(lambda n: (n - target) ** 2,
+                                 1, 64) == target
+
+    def test_matches_exhaustive_on_random_convex_costs(self):
+        import numpy as np
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            # Σ|a_i·n − b_i| is convex piecewise-linear in n — the same
+            # family as Algorithm 1's balance cost, plateaus included.
+            coeffs = rng.uniform(0.1, 5.0, size=4)
+            offsets = rng.uniform(1.0, 200.0, size=4)
+            cost = lambda n: float(  # noqa: E731
+                sum(abs(a * n - b) for a, b in zip(coeffs, offsets)))
+            low, high = 1, int(rng.integers(2, 100))
+            best = argmin_convex(cost, low, high)
+            exhaustive = min(cost(n) for n in range(low, high + 1))
+            assert cost(best) == pytest.approx(exhaustive)
+
+    def test_tiny_windows(self):
+        assert argmin_convex(lambda n: n, 5, 5) == 5
+        assert argmin_convex(lambda n: -n, 3, 4) == 4
+
+    def test_empty_window_raises(self):
+        with pytest.raises(SchedulingError):
+            argmin_convex(lambda n: n, 4, 3)
 
 
 class TestSchedule:
