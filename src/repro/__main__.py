@@ -37,6 +37,7 @@ DRIVERS = {
     "granularity_validation": experiments.granularity_validation,
     "extensions": experiments.extensions,
     "design_ablations": experiments.design_ablations,
+    "trace_demo": experiments.trace_demo,
 }
 
 

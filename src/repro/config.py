@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.trace.tracer import TraceConfig
+
 GB = 1024.0 ** 3
 MB = 1024.0 ** 2
 
@@ -177,9 +179,15 @@ class SimConfig:
     #: Width of utilization-timeline bins, in seconds (the paper measures
     #: with a 1-minute interval, §V-B).
     utilization_bin_seconds: float = 60.0
+    #: Structured tracing / metrics registry (:mod:`repro.trace`);
+    #: disabled by default so the hot simulation paths pay nothing.
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     def with_seed(self, seed: int) -> "SimConfig":
         return replace(self, seed=seed)
+
+    def with_tracing(self, enabled: bool = True, **kwargs) -> "SimConfig":
+        return replace(self, trace=TraceConfig(enabled=enabled, **kwargs))
 
 
 DEFAULT_SIM_CONFIG = SimConfig()

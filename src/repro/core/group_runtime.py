@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from repro.cluster.memory import MemoryLedger
-from repro.config import SimConfig
+from repro.config import GB, SimConfig
 from repro.core.job import Job
 from repro.core.memory_manager import GroupMemoryManager
 from repro.errors import OutOfMemoryError, SimulationError
@@ -63,6 +63,9 @@ class ExecutionMode(enum.Enum):
 #: effective throughput with k tasks is 1 / (1 + phi * (k - 1)).
 NAIVE_CPU_INTERFERENCE = 0.08
 NAIVE_NET_INTERFERENCE = 0.05
+
+#: Display order of a group's trace lanes: CPU first, then NET, DISK.
+_LANE_SORT = {"cpu": 0, "net": 1, "disk": 2}
 
 
 class GroupHooks(Protocol):
@@ -111,6 +114,15 @@ class GroupRuntime:
         self.streams = streams
         self.hooks = hooks
 
+        # Observability (repro.trace): None when tracing is off, so the
+        # per-subtask hot path is gated by one attribute check.
+        self._trace = sim.tracer if sim.tracer.enabled else None
+        self._lanes: dict[tuple[str, str], object] = {}
+        lo, hi = min(machine_ids), max(machine_ids)
+        self._trace_process = (
+            f"machines {lo}-{hi} · {group_id}" if len(machine_ids) > 1
+            else f"machine {lo} · {group_id}")
+
         execution = config.execution
         if mode is ExecutionMode.NAIVE:
             cpu_policy = processor_sharing(NAIVE_CPU_INTERFERENCE)
@@ -118,11 +130,19 @@ class GroupRuntime:
         else:
             cpu_policy = serial()
             net_policy = primary_secondary(execution.secondary_comm_rate)
-        self.cpu = RateResource(sim, cpu_policy, f"{group_id}:cpu")
-        self.net = RateResource(sim, net_policy, f"{group_id}:net")
+        self.cpu = RateResource(sim, cpu_policy, f"{group_id}:cpu",
+                                trace_gauge=f"{group_id}.cpu.level")
+        self.net = RateResource(sim, net_policy, f"{group_id}:net",
+                                trace_gauge=f"{group_id}.net.level")
         # Disk: reloads/checkpoints of co-located jobs share bandwidth.
         self.disk = RateResource(sim, processor_sharing(),
-                                 f"{group_id}:disk", record_segments=False)
+                                 f"{group_id}:disk", record_segments=False,
+                                 trace_gauge=f"{group_id}.disk.level")
+        if self._trace is not None:
+            self._trace.instant(
+                "group-start", cat="lifecycle", args={
+                    "group": group_id, "machines": list(machine_ids),
+                    "mode": mode.value})
 
         self.ledger = MemoryLedger(cost_model.spec,
                                    config.memory.gc_model)
@@ -255,6 +275,37 @@ class GroupRuntime:
             return error
         return None
 
+    # -- observability helpers -------------------------------------------------------
+
+    def _lane(self, resource: str, job_id: str):
+        """The (group-process, per-job resource thread) trace track."""
+        key = (resource, job_id)
+        track = self._lanes.get(key)
+        if track is None:
+            track = self._trace.track(
+                self._trace_process, f"{resource} · {job_id}",
+                process_sort=min(self.machine_ids),
+                thread_sort=_LANE_SORT[resource] * 1000 + len(self._lanes))
+            self._lanes[key] = track
+        return track
+
+    def _trace_service(self, resource: str, job_id: str, name: str,
+                       record, cat: str) -> None:
+        """One served subtask as (optional wait span +) service span.
+
+        The wait span is the time queued behind co-located jobs'
+        subtasks (§IV-A contention); the service span is the actual
+        execution window, so COMP/COMM overlap across jobs is directly
+        visible on the timeline.
+        """
+        lane = self._lane(resource, job_id)
+        if record.started_at - record.submitted_at > 1e-9:
+            self._trace.complete(lane, f"wait·{name}",
+                                 record.submitted_at, record.started_at,
+                                 cat="wait")
+        self._trace.complete(lane, name, record.started_at,
+                             record.finished_at, cat=cat)
+
     # -- job execution ---------------------------------------------------------------
 
     def _job_process(self, job: Job, restore: bool):
@@ -263,6 +314,12 @@ class GroupRuntime:
         m = self.n_machines
         profile = self.cost_model.profile(spec, m)
         barrier = 1.0 + self.config.execution.barrier_overhead
+        trace = self._trace
+        # Bytes moved per COMM subtask, for the registry's throughput
+        # counters (PULL is a no-op under all-reduce).
+        pull_bytes = (spec.comm_gb_per_direction * GB
+                      if profile.t_pull > 0 else 0.0)
+        push_bytes = spec.comm_gb_per_direction * GB
 
         if self.mode is ExecutionMode.NAIVE:
             oom = self.check_group_memory()
@@ -280,7 +337,11 @@ class GroupRuntime:
         memory_side_bytes = spec.input_gb * (1.0 - job.alpha) / m * 1024**3
         load_seconds += self.cost_model.disk.read_seconds(memory_side_bytes)
         if load_seconds > 0:
-            yield self.disk.submit(load_seconds, tag=job_id)
+            record_load = yield self.disk.submit(load_seconds, tag=job_id)
+            if trace is not None:
+                self._trace_service("disk", job_id,
+                                    "RESTORE+LOAD" if restore else "LOAD",
+                                    record_load, "load")
 
         reload_event: Optional[Event] = self._submit_reload(job)
         finished = False
@@ -295,14 +356,24 @@ class GroupRuntime:
                       * self._comm_interference()
                       * self._fault_net_factor)
             record_pull = yield self.net.submit(t_pull, tag=job_id)
+            if trace is not None and t_pull > 0:
+                self._trace_service("net", job_id, "PULL", record_pull,
+                                    "comm")
 
             # Wait for this iteration's disk-side blocks (§IV-C): the
             # reload was issued in the background one iteration ago.
             stall = 0.0
             if reload_event is not None:
                 before = self.sim.now
-                yield reload_event
+                reload_record = yield reload_event
                 stall = self.sim.now - before
+                if trace is not None:
+                    self._trace_service("disk", job_id, "RELOAD",
+                                        reload_record, "reload")
+                    if stall > 1e-9:
+                        trace.complete(self._lane("cpu", job_id),
+                                       "RELOAD-STALL", before,
+                                       self.sim.now, cat="stall")
 
             # COMP subtask (CPU), inflated by GC pressure.
             gc_factor = self.memory.gc_inflation()
@@ -310,6 +381,9 @@ class GroupRuntime:
                            * self._fault_cpu_factor)
             record_comp = yield self.cpu.submit(t_comp_base * gc_factor,
                                                 tag=job_id)
+            if trace is not None:
+                self._trace_service("cpu", job_id, "COMP", record_comp,
+                                    "comp")
 
             # Kick off the next iteration's background reload.
             reload_event = self._submit_reload(job)
@@ -319,6 +393,9 @@ class GroupRuntime:
                       * self._comm_interference()
                       * self._fault_net_factor)
             record_push = yield self.net.submit(t_push, tag=job_id)
+            if trace is not None:
+                self._trace_service("net", job_id, "PUSH", record_push,
+                                    "comm")
 
             now = self.sim.now
             # Profiled durations are the subtasks' own service demands
@@ -338,6 +415,25 @@ class GroupRuntime:
             self.cycles.append(cycle)
             self.memory.record_iteration(job, cycle.gc_overhead, stall,
                                          busy_seconds=cycle.duration)
+            if trace is not None:
+                # Registry counters survive regroupings by design: they
+                # are keyed by job, not by the group executing it.
+                registry = trace.registry
+                prefix = f"job.{job_id}"
+                registry.counter(f"{prefix}.steps").add(1)
+                registry.counter(f"{prefix}.bytes_pulled").add(pull_bytes)
+                registry.counter(f"{prefix}.bytes_pushed").add(push_bytes)
+                served = (record_pull.work + record_comp.work
+                          + record_push.work)
+                registry.counter(
+                    f"{prefix}.barrier_wait_seconds").add(
+                        served * (1.0 - 1.0 / barrier))
+                if stall > 0:
+                    registry.counter(f"{prefix}.stall_seconds").add(stall)
+                if cycle.gc_overhead > 0:
+                    registry.counter(f"{prefix}.gc_seconds").add(
+                        cycle.gc_overhead)
+                registry.gauge(f"{prefix}.alpha").set(job.alpha)
             finished = job.complete_iteration()
             self.hooks.on_iteration(job, self)
             if finished:
@@ -353,7 +449,11 @@ class GroupRuntime:
             # guaranteed here), checkpoint the model parameters to disk.
             checkpoint = self.cost_model.disk.checkpoint_seconds(
                 self.cost_model.checkpoint_bytes(spec, m))
-            yield self.disk.submit(checkpoint, tag=job_id)
+            record_ckpt = yield self.disk.submit(checkpoint, tag=job_id)
+            if trace is not None:
+                self._trace_service("disk", job_id, "CHECKPOINT",
+                                    record_ckpt, "checkpoint")
+                trace.counter(f"job.{job_id}.checkpoints").add(1)
             self._drop_job(job)
             self.hooks.on_job_paused(job, self)
 
@@ -363,6 +463,12 @@ class GroupRuntime:
         seconds = self.memory.reload_seconds(job)
         if seconds <= 0:
             return None
+        if self._trace is not None:
+            prefix = f"job.{job.job_id}"
+            self._trace.counter(f"{prefix}.reloads").add(1)
+            self._trace.counter(f"{prefix}.reload_bytes").add(
+                self.cost_model.reload_bytes_per_iteration(
+                    job.spec, self.n_machines, job.alpha))
         return self.disk.submit(seconds, tag=job.job_id)
 
     def _jitter(self, job_id: str) -> float:

@@ -114,7 +114,8 @@ class LocalHarmonyRuntime:
 
     def __init__(self, jobs: list[LocalJob], coordinate: bool = True,
                  secondary_comm_slots: int = 1,
-                 barrier_timeout: float = 60.0):
+                 barrier_timeout: float = 60.0,
+                 tracer=None):
         if not jobs:
             raise WorkloadError("no jobs to run")
         ids = [job.job_id for job in jobs]
@@ -125,7 +126,10 @@ class LocalHarmonyRuntime:
         # §IV-A: one COMP at a time; one primary + N secondary COMMs.
         self._cpu_token = threading.Semaphore(1)
         self._net_token = threading.Semaphore(1 + secondary_comm_slots)
-        self._synchronizer = SubTaskSynchronizer(timeout=barrier_timeout)
+        # Barrier waits are traced against the tracer's own clock
+        # (wall clock here — this runtime runs on real threads).
+        self._synchronizer = SubTaskSynchronizer(timeout=barrier_timeout,
+                                                 tracer=tracer)
         self.profiler = Profiler()
         self._barrier_timeout = barrier_timeout
 

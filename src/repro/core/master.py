@@ -108,6 +108,13 @@ class HarmonyMaster:
         self.scheduler = scheduler_factory(
             perf_model=self.perf_model, config=config.scheduler,
             memory_floor=self._memory_floor)
+        # Observability (repro.trace): scheduler decisions land on a
+        # dedicated "master" lane as instant events; None when tracing
+        # is off so decision paths pay one attribute check.
+        self._trace = sim.tracer if sim.tracer.enabled else None
+        self._trace_track = (
+            sim.tracer.track("master", "scheduler", process_sort=0)
+            if self._trace is not None else None)
 
         self.jobs: dict[str, Job] = {}
         self.groups: dict[str, GroupRuntime] = {}
@@ -146,6 +153,12 @@ class HarmonyMaster:
     def all_done(self) -> bool:
         return all(job.is_done for job in self.jobs.values())
 
+    def _instant(self, name: str, **args) -> None:
+        """Emit a scheduler-decision instant on the master lane."""
+        if self._trace is not None:
+            self._trace.instant(name, cat="scheduler",
+                                track=self._trace_track, args=args)
+
     def jobs_in_state(self, *states: JobState) -> list[Job]:
         return [job for job in self.jobs.values() if job.state in states]
 
@@ -175,6 +188,8 @@ class HarmonyMaster:
     def on_job_paused(self, job: Job, group: GroupRuntime) -> None:
         job.transition(JobState.PAUSED)
         job.migrations += 1
+        if self._trace is not None:
+            self._trace.counter("scheduler.migrations").add(1)
         self.migration_overhead_seconds += \
             self.cost_model.disk.checkpoint_seconds(
                 self.cost_model.checkpoint_bytes(job.spec,
@@ -294,6 +309,10 @@ class HarmonyMaster:
         """
         owner = self.cluster.owner_of(machine_id)
         group = self.groups.get(owner) if owner else None
+        if self._trace is not None:
+            self._instant("machine-crash", machine=machine_id,
+                          group=group.group_id if group else None,
+                          victims=group.n_jobs if group else 0)
         if group is None:
             self.failures_injected += 1
             return []  # free machine, or a non-group owner
@@ -405,7 +424,17 @@ class HarmonyMaster:
                                                 total_machines=budget)) \
             if current_estimates else 0.0
         threshold = self.config.scheduler.regroup_benefit_threshold
-        if plan.score > current * (1.0 + threshold):
+        triggered = plan.score > current * (1.0 + threshold)
+        if self._trace is not None:
+            stats = getattr(self.scheduler, "last_stats", None)
+            self._instant(
+                "regroup-check", current_score=round(current, 4),
+                planned_score=round(plan.score, 4), threshold=threshold,
+                triggered=triggered, plan_groups=len(plan.groups),
+                plan_jobs=len(plan.scheduled_job_ids),
+                prefixes_evaluated=(stats.n_prefixes_evaluated
+                                    if stats is not None else None))
+        if triggered:
             self._apply_plan(plan, scope_group_ids=set(stable))
 
     # ------------------------------------------------ profiled-job decision
@@ -434,7 +463,11 @@ class HarmonyMaster:
                         "wait", None))
 
         options.sort(key=lambda option: -option[0])
-        _, action, target_id = options[0]
+        score, action, target_id = options[0]
+        if self._trace is not None:
+            self._instant("placement", job=job.job_id, action=action,
+                          target=target_id, score=round(score, 4),
+                          n_options=len(options))
         if action == "stay":
             job.transition(JobState.RUNNING)
         elif action == "move":
@@ -580,6 +613,12 @@ class HarmonyMaster:
         differing jobs move.  Unmatched live groups drain fully; their
         machines then form the plan's remaining groups.
         """
+        if self._trace is not None:
+            self._trace.counter("scheduler.regroups").add(1)
+            self._instant("apply-plan", n_groups=len(plan.groups),
+                          n_jobs=len(plan.scheduled_job_ids),
+                          machines=plan.machines_used,
+                          score=round(plan.score, 4))
         self._last_apply_time = self.sim.now
         live = {gid: self.groups[gid] for gid in scope_group_ids
                 if gid in self.groups}
@@ -890,3 +929,15 @@ class HarmonyMaster:
                                                    t_end)
             record.measured_u_net = _busy_fraction(group.net, t_start,
                                                    t_end)
+        if self._trace is not None:
+            self._instant(
+                "epoch-close", group=group.group_id,
+                n_machines=record.n_machines, n_jobs=len(record.job_ids),
+                predicted_t_group=round(record.predicted_t_group, 3),
+                measured_t_group=(
+                    None if record.measured_t_group is None
+                    else round(record.measured_t_group, 3)),
+                predicted_u_cpu=round(record.predicted_u_cpu, 4),
+                measured_u_cpu=(
+                    None if record.measured_u_cpu is None
+                    else round(record.measured_u_cpu, 4)))

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.config import DEFAULT_SIM_CONFIG, SimConfig
-from repro.core.job import Job, JobState
+from repro.core.job import JobState
 from repro.core.master import HarmonyMaster
 from repro.core.perfmodel import PerfModel
 from repro.errors import SimulationError
@@ -25,6 +25,7 @@ from repro.metrics.faults import FaultLog
 from repro.metrics.utilization import ClusterUsageRecorder
 from repro.metrics.timeline import Timeline
 from repro.sim import RandomStreams, Simulator
+from repro.trace.tracer import Tracer, build_tracer
 from repro.workloads.apps import JobSpec
 from repro.workloads.costmodel import CostModel
 
@@ -65,6 +66,9 @@ class RunResult:
     wall_seconds: float = 0.0
     #: Recovery accounting when a fault plan was injected (else None).
     fault_log: Optional[FaultLog] = None
+    #: The run's tracer when tracing was enabled (else None); feed it
+    #: to :func:`repro.trace.write_chrome_trace` for a Perfetto view.
+    trace: Optional[Tracer] = None
 
     # -- headline numbers -------------------------------------------------
 
@@ -176,6 +180,11 @@ class HarmonyRuntime:
                  heartbeat_timeout: float = 90.0):
         self.config = config
         self.sim = Simulator()
+        if config.trace.enabled:
+            # The tracer timestamps off the simulation clock; installed
+            # before the master/groups so they see an enabled tracer.
+            self.sim.tracer = build_tracer(lambda: self.sim.now,
+                                           config.trace)
         self.cluster = Cluster(n_machines, config.machine)
         self.cost_model = cost_model if cost_model is not None \
             else CostModel(config.machine)
@@ -301,4 +310,5 @@ class HarmonyRuntime:
             gc_seconds=sum(c.gc_overhead for c in all_cycles),
             stall_seconds=sum(c.stall for c in all_cycles),
             wall_seconds=_time.perf_counter() - wall_start,
-            fault_log=self.fault_log)
+            fault_log=self.fault_log,
+            trace=self.sim.tracer if self.sim.tracer.enabled else None)

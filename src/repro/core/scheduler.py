@@ -27,6 +27,18 @@ _ORDERING_DOP = 16
 
 
 @dataclass(frozen=True)
+class ScheduleStats:
+    """Shape of one ``schedule()`` call, for observability (the trace
+    layer attaches these to regroup-check instants)."""
+
+    n_jobs_offered: int
+    n_prefixes_evaluated: int
+    best_n_groups: int
+    best_n_jobs: int
+    best_score: float
+
+
+@dataclass(frozen=True)
 class GroupPlan:
     """One job group of a schedule decision."""
 
@@ -125,6 +137,9 @@ class HarmonyScheduler:
         self.perf_model = perf_model if perf_model is not None \
             else PerfModel(cpu_weight=self.config.cpu_weight)
         self.memory_floor = memory_floor
+        #: Shape of the most recent :meth:`schedule` call (None before
+        #: the first call); read by the master's trace instrumentation.
+        self.last_stats: Optional[ScheduleStats] = None
 
     # -- Algorithm 1 ---------------------------------------------------------
 
@@ -143,8 +158,10 @@ class HarmonyScheduler:
         ordered = self._admission_order(jobs)
         best: Optional[SchedulePlan] = None
         no_improvement = 0
+        n_prefixes = 0
         for n_jobs in _prefix_sizes(len(ordered)):
             candidate_jobs = ordered[:n_jobs]
+            n_prefixes += 1
             plan = self._plan_for(candidate_jobs, total_machines)
             if plan is None:
                 if best is not None:
@@ -159,6 +176,13 @@ class HarmonyScheduler:
                 no_improvement += 1
                 if no_improvement > self.config.schedule_patience:
                     break
+        self.last_stats = ScheduleStats(
+            n_jobs_offered=len(ordered),
+            n_prefixes_evaluated=n_prefixes,
+            best_n_groups=len(best.groups) if best is not None else 0,
+            best_n_jobs=(len(best.scheduled_job_ids)
+                         if best is not None else 0),
+            best_score=best.score if best is not None else 0.0)
         return best
 
     def _admission_order(self, jobs: Sequence[JobMetrics]) -> \

@@ -30,7 +30,12 @@ from repro.errors import SimulationError
 class SubTaskSynchronizer:
     """Per-(job, iteration, step) barriers across a job's workers."""
 
-    def __init__(self, timeout: float = 60.0):
+    def __init__(self, timeout: float = 60.0, tracer=None):
+        # The local runtime runs on real threads, so barrier waits are
+        # traced against the wall clock (the tracer itself is clock-
+        # agnostic; see repro.trace).
+        self._trace = tracer if tracer is not None and tracer.enabled \
+            else None
         self._condition = threading.Condition()
         self._arrived: dict[tuple[str, int, SubTaskKind], int] = {}
         self._expected: dict[str, int] = {}
@@ -42,6 +47,14 @@ class SubTaskSynchronizer:
         #: Jobs whose barriers were force-released (worker loss).
         self._released: set[str] = set()
         self._timeout = timeout
+        self._lanes: dict[str, object] = {}
+
+    def _lane(self, job_id: str):
+        track = self._lanes.get(job_id)
+        if track is None:
+            track = self._trace.track("synchronizer", job_id)
+            self._lanes[job_id] = track
+        return track
 
     def register_job(self, job_id: str, n_workers: int) -> None:
         if n_workers < 1:
@@ -127,7 +140,18 @@ class SubTaskSynchronizer:
                         or job_id not in self._expected
                         or job_id in self._released)
 
+            handle = None
+            if self._trace is not None:
+                handle = self._trace.begin(
+                    self._lane(job_id), f"barrier·{kind.value}",
+                    cat="barrier", args={"iteration": iteration})
             done = self._condition.wait_for(ready, timeout=self._timeout)
+            if handle is not None:
+                span = self._trace.end(handle)
+                if span is not None:
+                    self._trace.counter(
+                        f"job.{job_id}.barrier_wait_seconds").add(
+                            span.duration)
             if not done:
                 raise SimulationError(
                     f"barrier timeout at {key}: "

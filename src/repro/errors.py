@@ -60,3 +60,7 @@ class ConvergenceError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload specification."""
+
+
+class TraceError(ReproError):
+    """Invalid tracing operation (closing a closed span, bad clock...)."""

@@ -27,6 +27,7 @@ from repro.experiments import (
     scalability,
     sensitivity_arrival,
     sensitivity_ratio,
+    trace_demo,
 )
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "scalability",
     "sensitivity_arrival",
     "sensitivity_ratio",
+    "trace_demo",
 ]

@@ -10,6 +10,7 @@ from repro.core.group_runtime import ExecutionMode, GroupRuntime
 from repro.core.job import Job, JobState
 from repro.errors import OutOfMemoryError
 from repro.sim import RandomStreams, Simulator
+from repro.trace.tracer import Tracer, build_tracer
 from repro.workloads.apps import JobSpec
 from repro.workloads.costmodel import CostModel
 from repro.workloads.generator import WorkloadGenerator
@@ -51,6 +52,8 @@ class SingleGroupResult:
     #: Per-job mean cycle times, first (pipeline-fill) cycle excluded.
     per_job_cycle_seconds: dict = None  # type: ignore[assignment]
     oom: Optional[OutOfMemoryError] = None
+    #: The run's tracer when ``config.trace.enabled`` (else None).
+    trace: Optional[Tracer] = None
 
     @property
     def failed(self) -> bool:
@@ -99,6 +102,8 @@ def run_single_group(specs: Sequence[JobSpec], n_machines: int,
     machine set.
     """
     sim = Simulator()
+    if config.trace.enabled:
+        sim.tracer = build_tracer(lambda: sim.now, config.trace)
     cost_model = CostModel(config.machine)
     hooks = _CollectingHooks()
     group = GroupRuntime(sim, "exp", tuple(range(n_machines)), mode,
@@ -138,4 +143,5 @@ def run_single_group(specs: Sequence[JobSpec], n_machines: int,
                                 if cycles else 0.0),
         duration_seconds=duration,
         per_job_cycle_seconds=per_job,
-        oom=oom)
+        oom=oom,
+        trace=sim.tracer if sim.tracer.enabled else None)

@@ -48,6 +48,7 @@ class FaultInjector:
         #: Crash repairs scheduled but not yet applied — the runtime's
         #: stall watchdog waits for these before declaring a deadlock.
         self.pending_repairs = 0
+        self._trace = sim.tracer if sim.tracer.enabled else None
 
     def install(self) -> None:
         """Schedule every planned event; call once, before running."""
@@ -75,6 +76,13 @@ class FaultInjector:
             raise SimulationError(f"unknown fault kind {event.kind}")
 
     def _record(self, event: FaultEvent) -> FaultRecord:
+        if self._trace is not None:
+            self._trace.counter("faults.injected").add(1)
+            self._trace.instant(
+                event.kind.value, cat="fault",
+                args={"machine": event.machine_id,
+                      "severity": event.severity,
+                      "duration": event.duration})
         return self.log.fault_injected(FaultRecord(
             time=self.sim.now, kind=event.kind.value,
             machine_id=event.machine_id, duration=event.duration,
@@ -91,6 +99,10 @@ class FaultInjector:
 
     def _repair(self, machine_id: int) -> None:
         self.pending_repairs -= 1
+        if self._trace is not None:
+            self._trace.counter("faults.repaired").add(1)
+            self._trace.instant("repair", cat="fault",
+                                args={"machine": machine_id})
         self.cluster.restore_machine(machine_id)
         self.monitor.revive(machine_id)
         self.master.machine_repaired(machine_id)

@@ -82,6 +82,13 @@ class HealthMonitor:
                     continue
                 self._reported.add(machine_id)
                 self.detections += 1
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.counter("faults.detected").add(1)
+                    tracer.instant(
+                        "fault-detected", cat="fault",
+                        args={"machine": machine_id,
+                              "latency": now - self._last_beat[machine_id]})
                 if self.log is not None and record is not None:
                     self.log.crash_detected(record, at=now)
                 self.master.on_machine_failure(machine_id,

@@ -51,10 +51,16 @@ def export_fault_log(path: "str | Path", log) -> Path:
     return write_csv(path, list(log.CSV_HEADERS), log.rows())
 
 
+def export_counters(path: "str | Path", tracer) -> Path:
+    """The trace layer's metrics registry (final values) to CSV."""
+    from repro.trace.export import counter_rows
+    return write_csv(path, ["kind", "name", "value"], counter_rows(tracer))
+
+
 def export_run_result(directory: "str | Path", result) -> list[Path]:
     """Everything plottable from one RunResult: per-job outcomes plus
     CPU/network timelines (and the fault log when faults were
-    injected)."""
+    injected, and the trace counters when tracing was on)."""
     base = Path(directory)
     written = []
     outcome_rows = []
@@ -77,4 +83,8 @@ def export_run_result(directory: "str | Path", result) -> list[Path]:
     if fault_log is not None and fault_log.records:
         written.append(export_fault_log(
             base / f"{result.scheduler_name}_faults.csv", fault_log))
+    trace = getattr(result, "trace", None)
+    if trace is not None and trace.enabled:
+        written.append(export_counters(
+            base / f"{result.scheduler_name}_counters.csv", trace))
     return written

@@ -30,13 +30,16 @@ def bin_segments(segments: Iterable[BusySegment], t_end: float,
         if hi <= lo or segment.level <= 0:
             continue
         first = int((lo - t_start) // bin_seconds)
-        last = int(np.ceil((hi - t_start) / bin_seconds))
-        for index in range(first, min(last, n_bins)):
-            bin_lo = t_start + index * bin_seconds
-            bin_hi = bin_lo + bin_seconds
-            overlap = min(hi, bin_hi) - max(lo, bin_lo)
-            if overlap > 0:
-                acc[index] += overlap * segment.level * weight
+        last = min(int(np.ceil((hi - t_start) / bin_seconds)), n_bins)
+        if last <= first:
+            continue
+        # Each touched bin contributes its overlap with [lo, hi): the
+        # vectorized form clips the segment against every bin edge at
+        # once (a long segment over fine bins was O(bins) in Python).
+        edges = t_start + bin_seconds * np.arange(first, last + 1)
+        overlap = (np.minimum(hi, edges[1:])
+                   - np.maximum(lo, edges[:-1])).clip(min=0.0)
+        acc[first:last] += overlap * (segment.level * weight)
     return acc / bin_seconds
 
 

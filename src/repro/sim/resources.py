@@ -126,7 +126,8 @@ class RateResource:
     """A shared resource serving FIFO-ordered tasks at policy rates."""
 
     def __init__(self, sim: Simulator, policy: RatePolicy, name: str = "",
-                 record_segments: bool = True):
+                 record_segments: bool = True,
+                 trace_gauge: Optional[str] = None):
         self.sim = sim
         self.name = name
         self._policy = policy
@@ -134,6 +135,14 @@ class RateResource:
         self._last_update = sim.now
         self._wake_generation = 0
         self._record_segments = record_segments
+        # Observability: a gauge lane sampling the delivered service
+        # level at every rate change (renders as a Perfetto counter
+        # track).  None unless tracing is enabled, so the simulation
+        # hot path pays a single attribute check.
+        self._level_gauge = (sim.tracer.gauge(trace_gauge)
+                            if trace_gauge and sim.tracer.enabled
+                            else None)
+        self._last_level = 0.0
         #: Utilization history: one entry per constant-rate interval.
         self.segments: list[BusySegment] = []
         #: Aggregate ``∫ level dt`` — busy seconds, capped at capacity.
@@ -234,6 +243,8 @@ class RateResource:
         # Pop any tasks that are already done (zero-work or finished
         # exactly at the current instant).
         self._pop_finished()
+        if self._level_gauge is not None:
+            self._sample_level()
         if not self._tasks:
             return
         rates = self.current_rates()
@@ -248,6 +259,13 @@ class RateResource:
             return  # everything is waiting (policy starves the queue)
         self.sim.call_in(max(horizon, 0.0),
                          lambda: self._on_wake(generation))
+
+    def _sample_level(self) -> None:
+        """Record the delivered service level going forward from now."""
+        level = min(1.0, sum(self.current_rates())) if self._tasks else 0.0
+        if level != self._last_level:
+            self._last_level = level
+            self._level_gauge.set(level)
 
     def _on_wake(self, generation: int) -> None:
         if generation != self._wake_generation:

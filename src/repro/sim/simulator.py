@@ -14,16 +14,21 @@ from typing import Any, Callable, Generator, Optional
 from repro.errors import SimulationError
 from repro.sim.events import Event
 from repro.sim.process import Process
+from repro.trace.tracer import NULL_TRACER
 
 
 class Simulator:
     """A discrete-event simulator with a float-seconds clock."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, tracer=None):
         self._now = float(start_time)
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._running = False
+        #: The observability bus every kernel client reads its tracer
+        #: from (:mod:`repro.trace`).  Defaults to the no-op tracer;
+        #: runtimes install a live one when tracing is enabled.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:

@@ -1,0 +1,56 @@
+"""Structured tracing and metrics (`repro.trace`).
+
+A low-overhead observability layer for the reproduction: a
+:class:`Tracer` records *span* events (COMP/COMM subtask execution,
+reload stalls, barrier waits, checkpoint pauses) and *instant* events
+(scheduler decisions, regroup triggers, fault injections) against any
+monotone clock — the simulated clock for cluster runs, the wall clock
+for the thread-based local runtime — plus a named counter/gauge
+:class:`MetricsRegistry`.
+
+Tracing is disabled by default (:class:`TraceConfig`); when off, every
+instrumentation site either skips entirely or hits the no-op
+:data:`NULL_TRACER`, so the hot simulation paths pay nothing.
+
+Exporters render a recorded trace as Chrome-trace/Perfetto JSON
+(machine sets as "processes", per-job CPU/NET/DISK lanes as "threads")
+and the counter registry as CSV.
+"""
+
+from repro.trace.export import (
+    chrome_trace_events,
+    counter_rows,
+    write_chrome_trace,
+)
+from repro.trace.tracer import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    InstantEvent,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    SpanHandle,
+    TraceConfig,
+    Tracer,
+    Track,
+    build_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "InstantEvent",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "SpanHandle",
+    "TraceConfig",
+    "Tracer",
+    "Track",
+    "build_tracer",
+    "chrome_trace_events",
+    "counter_rows",
+    "write_chrome_trace",
+]

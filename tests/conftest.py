@@ -4,16 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import (
-    ExecutionConfig,
-    MachineSpec,
-    MemoryConfig,
-    SchedulerConfig,
-    SimConfig,
-)
+from repro.config import ExecutionConfig, MachineSpec, SimConfig
 from repro.core.profiler import JobMetrics
 from repro.sim import RandomStreams, Simulator
-from repro.workloads.apps import DATASETS, JobSpec, LASSO, LDA, MLR, NMF
+from repro.workloads.apps import DATASETS, JobSpec, LDA, MLR
 from repro.workloads.costmodel import CostModel
 from repro.workloads.generator import WorkloadGenerator
 

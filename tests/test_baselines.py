@@ -4,8 +4,7 @@ import pytest
 
 from repro.baselines import IsolatedRuntime, NaiveRuntime
 from repro.baselines.naive import best_and_worst, run_naive_cases
-from repro.core.job import JobState
-from repro.workloads.apps import DATASETS, JobSpec, LDA, MLR
+from repro.workloads.apps import DATASETS, JobSpec, MLR
 from repro.workloads.generator import WorkloadGenerator
 
 

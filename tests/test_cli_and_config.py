@@ -3,14 +3,7 @@
 import pytest
 
 from repro.__main__ import DRIVERS, main
-from repro.config import (
-    DEFAULT_SIM_CONFIG,
-    GB,
-    GCModel,
-    MB,
-    MachineSpec,
-    SimConfig,
-)
+from repro.config import DEFAULT_SIM_CONFIG, GB, GCModel, MB, MachineSpec
 from repro import errors
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster, DiskModel, MemoryLedger, NetworkModel
-from repro.config import GB, GCModel, MachineSpec
+from repro.config import GB, GCModel
 from repro.errors import ClusterError, OutOfMemoryError
 
 

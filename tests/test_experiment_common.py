@@ -1,6 +1,5 @@
 """Tests for experiment plumbing and baseline gating details."""
 
-import pytest
 
 from repro.baselines.base import BaselineRuntime
 from repro.core.group_runtime import ExecutionMode

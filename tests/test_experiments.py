@@ -4,7 +4,6 @@ Each driver must run end-to-end and reproduce the *shape* of its paper
 exhibit; the full-scale numbers live in benchmarks/ and EXPERIMENTS.md.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -2,10 +2,8 @@
 
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.config import ExecutionConfig, SimConfig
-from repro.core.job import JobState
 from repro.core.runtime import HarmonyRuntime
 from repro.errors import WorkloadError
 from repro.cluster.allreduce import AllReduceModel

@@ -1,16 +1,14 @@
 """Tests for the per-worker fine-grained executor and its barrier."""
 
 import pytest
-from dataclasses import replace
 
-from repro.config import DEFAULT_SIM_CONFIG, ExecutionConfig, SimConfig
+from repro.config import ExecutionConfig, SimConfig
 from repro.core.fine_executor import (
     FineGrainedResult,
     SimBarrier,
     run_fine_grained_group,
 )
 from repro.errors import SimulationError
-from repro.sim import Simulator
 from repro.workloads.apps import DATASETS, JobSpec, LDA
 from repro.workloads.costmodel import CostModel
 

@@ -1,6 +1,5 @@
 """Tests for the threaded local runtime (real PS + real models)."""
 
-import numpy as np
 import pytest
 
 from repro.core.local_runtime import LocalHarmonyRuntime, LocalJob

@@ -3,13 +3,8 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.config import (
-    ExecutionConfig,
-    MemoryConfig,
-    SchedulerConfig,
-    SimConfig,
-)
-from repro.core.job import Job, JobState
+from repro.config import ExecutionConfig, MemoryConfig, SimConfig
+from repro.core.job import JobState
 from repro.core.master import HarmonyMaster
 from repro.metrics.utilization import ClusterUsageRecorder
 from repro.sim import RandomStreams, Simulator

@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.config import SchedulerConfig, SimConfig
-from repro.core.job import JobState
+from repro.config import SimConfig
 from repro.core.runtime import HarmonyRuntime
-from repro.errors import SimulationError
 from repro.workloads.apps import DATASETS, JobSpec, LDA
 from repro.workloads.arrivals import poisson_arrivals, with_arrival_times
 from repro.workloads.generator import WorkloadGenerator

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.memory import MemoryLedger
 from repro.config import MemoryConfig
-from repro.core.job import Job, JobState
+from repro.core.job import Job
 from repro.core.memory_manager import GroupMemoryManager
 from repro.workloads.apps import DATASETS, JobSpec, LDA, MLR
 from repro.workloads.costmodel import CostModel

@@ -72,6 +72,47 @@ class TestBinSegments:
         with pytest.raises(ValueError):
             bin_segments([], t_end=10.0, bin_seconds=0.0)
 
+    def test_matches_scalar_reference(self):
+        """The vectorized inner accumulation must agree bin-for-bin
+        with the straightforward per-bin loop."""
+        def reference(segments, t_end, bin_seconds, t_start, weight):
+            n_bins = max(1, int(np.ceil(
+                max(0.0, t_end - t_start) / bin_seconds)))
+            acc = np.zeros(n_bins)
+            for segment in segments:
+                lo = max(segment.start, t_start)
+                hi = min(segment.end, t_end)
+                if hi <= lo or segment.level <= 0:
+                    continue
+                first = int((lo - t_start) // bin_seconds)
+                last = int(np.ceil((hi - t_start) / bin_seconds))
+                for index in range(first, min(last, n_bins)):
+                    bin_lo = t_start + index * bin_seconds
+                    overlap = (min(hi, bin_lo + bin_seconds)
+                               - max(lo, bin_lo))
+                    if overlap > 0:
+                        acc[index] += overlap * segment.level * weight
+            return acc / bin_seconds
+
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            t = 0.0
+            segments = []
+            for _ in range(int(rng.integers(1, 20))):
+                t += rng.uniform(0.0, 30.0)
+                end = t + rng.uniform(0.01, 300.0)
+                segments.append(BusySegment(t, end, rng.uniform(0, 1)))
+                t = end
+            t_start = rng.uniform(0.0, 5.0)
+            t_end = rng.uniform(10.0, t + 50.0)
+            bin_seconds = rng.uniform(0.5, 90.0)
+            weight = rng.uniform(0.5, 4.0)
+            got = bin_segments(segments, t_end, bin_seconds,
+                               t_start, weight)
+            want = reference(segments, t_end, bin_seconds,
+                             t_start, weight)
+            assert got == pytest.approx(want, abs=1e-9)
+
 
 class TestTimeline:
     def test_average_until_ignores_tail(self):

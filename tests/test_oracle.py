@@ -1,6 +1,5 @@
 """Tests for the exhaustive-search Oracle scheduler."""
 
-import math
 
 import pytest
 

@@ -10,7 +10,6 @@ from dataclasses import replace
 import pytest
 
 from repro.config import DEFAULT_SIM_CONFIG
-from repro.core.job import JobState
 from repro.core.runtime import HarmonyRuntime
 from repro.workloads.generator import WorkloadGenerator
 

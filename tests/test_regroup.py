@@ -1,6 +1,5 @@
 """Tests for the §IV-B4 regrouping helpers."""
 
-import pytest
 
 from repro.core.profiler import JobMetrics
 from repro.core.regroup import (

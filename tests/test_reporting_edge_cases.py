@@ -1,15 +1,13 @@
 """Edge-case tests across runtime components discovered during
 calibration — regression guards for subtle behaviours."""
 
-import pytest
 
 from repro.config import ExecutionConfig, SimConfig
 from repro.core.group_runtime import ExecutionMode, GroupRuntime
 from repro.core.job import Job, JobState
 from repro.core.runtime import HarmonyRuntime
-from repro.errors import SimulationError
 from repro.sim import RandomStreams, Simulator
-from repro.workloads.apps import DATASETS, JobSpec, LDA, MLR
+from repro.workloads.apps import DATASETS, JobSpec, LDA
 from repro.workloads.costmodel import CostModel
 from repro.workloads.generator import WorkloadGenerator
 

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AllOf, AnyOf, Simulator
-from repro.sim.events import Event
+from repro.sim import AllOf, AnyOf
 
 
 class TestEvent:

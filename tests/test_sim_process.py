@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ProcessKilled, SimulationError
-from repro.sim import Simulator
 
 
 class TestProcessBasics:

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ResourceError
 from repro.sim import (
     RateResource,
-    Simulator,
     primary_secondary,
     processor_sharing,
     serial,
