@@ -1,0 +1,34 @@
+"""Correctness harness at CI scale: a checked scenario + differentials."""
+
+from repro.check import (
+    ScenarioGenerator,
+    run_checked,
+    run_differential,
+)
+
+
+def test_checked_scenario(once):
+    scenario = ScenarioGenerator(2021).generate()
+    checked = once(run_checked, scenario)
+    print()
+    print(checked.report())
+
+    # The whole point of the harness: a clean run violates nothing.
+    assert checked.ok
+    assert checked.violations == []
+    assert checked.finished_jobs == len(scenario.specs)
+    assert 0.0 < checked.sim_seconds
+
+
+def test_differential_suites(once):
+    report = once(run_differential, 20, 2021)
+    print()
+    print(report.summary())
+
+    assert report.ok, report.failures()
+    assert len(report.perfmodel) == 20
+    assert len(report.oracle) == 20
+    # The simulator tracks Eq. 1 closely on average; the per-case
+    # residual is bounded pipelining, not noise.
+    assert report.perfmodel_mean_error < 0.05
+    assert report.oracle_mean_gap < 0.08

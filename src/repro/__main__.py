@@ -6,6 +6,7 @@ Usage::
     python -m repro fig10_main
     python -m repro fig10_main --scale 0.25 --seed 7
     python -m repro all --scale 0.25
+    python -m repro check --seed 7      # correctness harness (repro.check)
 """
 
 from __future__ import annotations
@@ -57,6 +58,12 @@ def _run_driver(name: str, scale: float | None, seed: int | None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "check":
+        # The correctness harness has its own option set (seeds,
+        # differential suites); see repro.check.cli.
+        from repro.check.cli import main as check_main
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run the Harmony reproduction's experiments.")
@@ -76,6 +83,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, module in DRIVERS.items():
             summary = (module.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:26s} {summary}")
+        print(f"  {'check':26s} seeded invariant checker / "
+              "differential harness (repro.check)")
         return 0
 
     if args.driver == "all":

@@ -1,0 +1,48 @@
+"""Run-level correctness harness (invariants + differential testing).
+
+Three pieces:
+
+* :class:`InvariantChecker` — asserts whole-run invariants (work
+  conservation, COMP/COMM occupancy, barrier safety, monotone trace
+  timestamps, no lost iterations, ledger consistency) over a finished
+  :class:`~repro.core.runtime.HarmonyRuntime`.
+* :mod:`repro.check.differential` — replays profiled jobs through the
+  analytical Eqs. 1-4 model and the §V-F exhaustive oracle and bounds
+  the simulator/scheduler against both.
+* :class:`ScenarioGenerator` — derives complete experiments (job mix,
+  arrivals, fault plan, alpha settings) from one seed, with one-line
+  replay: ``python -m repro check --seed N``.
+"""
+
+from repro.check.differential import (
+    DifferentialReport,
+    OracleCase,
+    PerfModelCase,
+    exact_metrics,
+    oracle_cases,
+    perfmodel_cases,
+    run_differential,
+)
+from repro.check.invariants import InvariantChecker, Violation
+from repro.check.scenarios import (
+    CheckedRun,
+    Scenario,
+    ScenarioGenerator,
+    run_checked,
+)
+
+__all__ = [
+    "CheckedRun",
+    "DifferentialReport",
+    "InvariantChecker",
+    "OracleCase",
+    "PerfModelCase",
+    "Scenario",
+    "ScenarioGenerator",
+    "Violation",
+    "exact_metrics",
+    "oracle_cases",
+    "perfmodel_cases",
+    "run_checked",
+    "run_differential",
+]

@@ -40,6 +40,7 @@ from repro.sim import (
     processor_sharing,
     serial,
 )
+from repro.sim.resources import ResourceAudit
 from repro.workloads.costmodel import CostModel
 
 
@@ -79,6 +80,33 @@ class GroupHooks(Protocol):
 
     def on_job_failed(self, job: Job, group: "GroupRuntime",
                       error: Exception) -> None: ...
+
+
+@dataclass(frozen=True)
+class GroupAudit:
+    """Final (or in-flight) conservation snapshot of one group.
+
+    Consumed by :mod:`repro.check`: the per-resource ledgers plus the
+    policy facts the checker needs to bound busy time by served work
+    (a serial CPU delivers exactly its busy seconds; a
+    primary+secondary NIC delivers at most ``net_rate_cap`` times its
+    busy seconds).
+    """
+
+    group_id: str
+    mode: str
+    n_machines: int
+    started_at: float
+    stopped_at: Optional[float]
+    crashed: bool
+    cpu: ResourceAudit
+    net: ResourceAudit
+    disk: ResourceAudit
+    #: True when the CPU serves one COMP at a time (coordinated modes).
+    cpu_serial: bool
+    #: Max total NIC service rate relative to capacity (Fig. 7's
+    #: primary + secondary share under coordinated modes, else 1.0).
+    net_rate_cap: float
 
 
 @dataclass
@@ -153,6 +181,7 @@ class GroupRuntime:
                            and config.memory.spill_enabled))
         self.started_at = sim.now
         self.stopped_at: Optional[float] = None
+        self.crashed = False
         self.cycles: list[CycleRecord] = []
         self._jobs: dict[str, Job] = {}
         self._processes: dict[str, "object"] = {}
@@ -537,9 +566,16 @@ class GroupRuntime:
         self._jobs.clear()
         self._processes.clear()
         self._pause_requested.clear()
+        # The killed processes leave their in-flight subtasks queued on
+        # the shared resources; without purging, the resources would
+        # keep serving work nobody is waiting for (phantom busy time).
+        self.cpu.purge()
+        self.net.purge()
+        self.disk.purge()
         self.cpu.close_segments()
         self.net.close_segments()
         self.stopped_at = self.sim.now
+        self.crashed = True
         return victims
 
     # -- teardown -------------------------------------------------------------------
@@ -553,6 +589,24 @@ class GroupRuntime:
         self.cpu.close_segments()
         self.net.close_segments()
         self.stopped_at = self.sim.now
+
+    def audit(self) -> GroupAudit:
+        """Conservation snapshot for :mod:`repro.check` (any time)."""
+        execution = self.config.execution
+        coordinated = self.mode.coordinated
+        return GroupAudit(
+            group_id=self.group_id,
+            mode=self.mode.value,
+            n_machines=self.n_machines,
+            started_at=self.started_at,
+            stopped_at=self.stopped_at,
+            crashed=self.crashed,
+            cpu=self.cpu.audit(),
+            net=self.net.audit(),
+            disk=self.disk.audit(),
+            cpu_serial=coordinated,
+            net_rate_cap=(1.0 + execution.secondary_comm_rate
+                          if coordinated else 1.0))
 
     # -- measurements ------------------------------------------------------------------
 

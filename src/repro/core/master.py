@@ -132,6 +132,13 @@ class HarmonyMaster:
         self.group_shape_log: list[tuple[float, int, int]] = []
         #: Cycle records of groups that have been torn down.
         self.finished_cycles: list = []
+        #: Final conservation snapshots of torn-down groups, for
+        #: :mod:`repro.check` (live groups are audited on demand).
+        self.group_audits: list = []
+        #: Iterations rolled back per job by crash recovery — the
+        #: checker's no-lost-iterations ledger: a finished job must have
+        #: executed exactly ``spec.iterations + rolled_back`` cycles.
+        self.rolled_back_iterations: dict[str, int] = {}
         #: Count of machine failures processed (§VI fault tolerance).
         self.failures_injected = 0
         #: Recovery accounting sink (repro.faults); optional.
@@ -234,6 +241,7 @@ class HarmonyMaster:
         group = self.groups.pop(group_id)
         self._close_decision(group, self.sim.now)
         group.stop()
+        self.group_audits.append(group.audit())
         self.finished_cycles.extend(group.cycles)
         self.recorder.group_stopped(group_id, self.sim.now)
         self.cluster.release_all(group_id)
@@ -320,6 +328,7 @@ class HarmonyMaster:
         self._close_decision(group, self.sim.now)
         victims = group.crash()
         self.failures_injected += 1
+        self.group_audits.append(group.audit())
         self.finished_cycles.extend(group.cycles)
         del self.groups[group_id]
         self.recorder.group_stopped(group_id, self.sim.now)
@@ -337,6 +346,9 @@ class HarmonyMaster:
             job.remaining_iterations = min(
                 job.spec.iterations, job.remaining_iterations + lost)
             lost_total += job.remaining_iterations - before
+            self.rolled_back_iterations[job.job_id] = (
+                self.rolled_back_iterations.get(job.job_id, 0)
+                + job.remaining_iterations - before)
             if self.profiler.has(job.job_id):
                 metrics = self.profiler.get(job.job_id)
                 rerun_seconds += ((job.remaining_iterations - before)

@@ -64,3 +64,14 @@ class WorkloadError(ReproError):
 
 class TraceError(ReproError):
     """Invalid tracing operation (closing a closed span, bad clock...)."""
+
+
+class InvariantViolationError(ReproError):
+    """A run-level invariant was violated (:mod:`repro.check`).
+
+    Carries the individual violations so harnesses can report each one.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()):
+        super().__init__(message)
+        self.violations = violations

@@ -122,6 +122,26 @@ class BusySegment:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class ResourceAudit:
+    """Work-conservation snapshot of one resource (repro.check).
+
+    Taken by :meth:`RateResource.audit`; the invariant checker asserts
+    ``work_served == work_submitted - work_discarded - queued_work``
+    (no service is ever lost or invented) and bounds ``busy_seconds``
+    by the served work.
+    """
+
+    name: str
+    at: float
+    busy_seconds: float
+    work_submitted: float
+    work_served: float
+    work_discarded: float
+    queued_work: float
+    queue_length: int
+
+
 class RateResource:
     """A shared resource serving FIFO-ordered tasks at policy rates."""
 
@@ -145,10 +165,18 @@ class RateResource:
         self._last_level = 0.0
         #: Utilization history: one entry per constant-rate interval.
         self.segments: list[BusySegment] = []
+        # Segments below this index are sealed: close_segments() has
+        # published them (exporters/recorders take shallow copies), so
+        # _append_segment must never extend them in place.
+        self._segment_seal = 0
         #: Aggregate ``∫ level dt`` — busy seconds, capped at capacity.
         self.busy_seconds = 0.0
         #: Service seconds attributed per tag (e.g. per job id).
         self.served_by_tag: dict[str, float] = {}
+        #: Work-conservation ledger (see :class:`ResourceAudit`).
+        self.work_submitted = 0.0
+        self.work_served = 0.0
+        self.work_discarded = 0.0
 
     # -- public API ----------------------------------------------------
 
@@ -167,6 +195,7 @@ class RateResource:
         event = self.sim.event(f"{self.name}:task")
         task = _Task(work_remaining=max(work, 0.0), work_total=work,
                      event=event, tag=tag, submitted_at=self.sim.now)
+        self.work_submitted += task.work_remaining
         self._tasks.append(task)
         # Zero-work tasks are popped as already-finished by the
         # rescheduling pass below.
@@ -182,10 +211,43 @@ class RateResource:
         self._advance()
         for index, task in enumerate(self._tasks):
             if task.event is event:
+                self.work_discarded += max(task.work_remaining, 0.0)
                 del self._tasks[index]
                 self._reschedule()
                 return True
         return False
+
+    def purge(self) -> float:
+        """Drop every queued task without completing it.
+
+        Used when a group crashes: its processes are killed, so their
+        pending resource tasks must not keep receiving service.  The
+        abandoned work is booked as discarded; the tasks' events are not
+        triggered.  Returns the total work dropped.
+        """
+        self._advance()
+        dropped = sum(max(t.work_remaining, 0.0) for t in self._tasks)
+        self._tasks.clear()
+        self.work_discarded += dropped
+        # Invalidate any scheduled wake-up for the old queue.
+        self._wake_generation += 1
+        if self._level_gauge is not None:
+            self._sample_level()
+        return dropped
+
+    def audit(self) -> ResourceAudit:
+        """Snapshot the work-conservation ledger as of ``sim.now``."""
+        self._advance()
+        return ResourceAudit(
+            name=self.name,
+            at=self.sim.now,
+            busy_seconds=self.busy_seconds,
+            work_submitted=self.work_submitted,
+            work_served=self.work_served,
+            work_discarded=self.work_discarded,
+            queued_work=sum(max(t.work_remaining, 0.0)
+                            for t in self._tasks),
+            queue_length=len(self._tasks))
 
     def current_rates(self) -> list[float]:
         """Service rates per queued task, in queue order (0 = waiting)."""
@@ -196,8 +258,15 @@ class RateResource:
         return result
 
     def close_segments(self) -> None:
-        """Flush the in-progress utilization segment up to ``sim.now``."""
+        """Flush the in-progress utilization segment up to ``sim.now``.
+
+        Idempotent, and safe to call from multiple consumers (checker +
+        exporter): the flushed segments are *sealed*, so later service
+        starts a fresh :class:`BusySegment` instead of mutating a
+        segment a caller may have already copied by reference.
+        """
         self._advance()
+        self._segment_seal = len(self.segments)
 
     # -- internals -----------------------------------------------------
 
@@ -222,13 +291,14 @@ class RateResource:
             delivered = min(task.work_remaining, rate * dt)
             task.work_remaining -= delivered
             task.served += delivered
+            self.work_served += delivered
             if task.tag is not None:
                 self.served_by_tag[task.tag] = (
                     self.served_by_tag.get(task.tag, 0.0) + delivered)
         self._last_update = now
 
     def _append_segment(self, start: float, end: float, level: float) -> None:
-        if self.segments:
+        if len(self.segments) > self._segment_seal:
             last = self.segments[-1]
             if (abs(last.end - start) <= _EPSILON
                     and abs(last.level - level) <= 1e-6):

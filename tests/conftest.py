@@ -12,6 +12,39 @@ from repro.workloads.costmodel import CostModel
 from repro.workloads.generator import WorkloadGenerator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--checked", action="store_true", default=False,
+        help="run every HarmonyRuntime.run() through the repro.check "
+             "invariant checker (fails the test on any violation)")
+
+
+@pytest.fixture(autouse=True)
+def _checked_mode(request, monkeypatch):
+    """Opt-in whole-run validation: ``pytest --checked`` re-verifies
+    every experiment/e2e test against the run-level invariants."""
+    if not request.config.getoption("--checked"):
+        yield
+        return
+    from repro.check import InvariantChecker
+    from repro.core.runtime import HarmonyRuntime
+
+    original = HarmonyRuntime.run
+    checker = InvariantChecker()
+
+    def run_and_check(self, *args, **kwargs):
+        result = original(self, *args, **kwargs)
+        violations = checker.check_runtime(self)
+        if violations:
+            pytest.fail(
+                "run-level invariant violation(s):\n"
+                + "\n".join(str(v) for v in violations))
+        return result
+
+    monkeypatch.setattr(HarmonyRuntime, "run", run_and_check)
+    yield
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

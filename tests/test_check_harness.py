@@ -1,0 +1,490 @@
+"""Tests for the run-level correctness harness (repro.check)."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import (
+    InvariantChecker,
+    OracleCase,
+    PerfModelCase,
+    ScenarioGenerator,
+    Violation,
+    exact_metrics,
+    run_checked,
+    run_differential,
+)
+from repro.check.cli import DEFAULT_SEEDS, _rotating_seed
+from repro.check.cli import main as check_main
+from repro.check.differential import (
+    ORACLE_CASE_GAP,
+    ORACLE_MEAN_GAP,
+    PERFMODEL_CASE_TOL,
+    PERFMODEL_MEAN_TOL,
+)
+from repro.check.scenarios import CheckedRun
+from repro.config import SimConfig
+from repro.core.group_runtime import GroupAudit
+from repro.core.runtime import HarmonyRuntime
+from repro.errors import InvariantViolationError
+from repro.sim.resources import ResourceAudit
+from repro.trace import Tracer
+from repro.workloads.costmodel import CostModel
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _manual_clock(start: float = 0.0):
+    state = {"now": start}
+
+    def clock() -> float:
+        return state["now"]
+
+    def advance(dt: float) -> None:
+        state["now"] += dt
+
+    return clock, advance
+
+
+def _resource(name="cpu", at=100.0, busy=50.0, submitted=50.0,
+              served=50.0, discarded=0.0, queued=0.0, queue_length=0):
+    return ResourceAudit(name=name, at=at, busy_seconds=busy,
+                         work_submitted=submitted, work_served=served,
+                         work_discarded=discarded, queued_work=queued,
+                         queue_length=queue_length)
+
+
+def _group_audit(cpu=None, net=None, disk=None, stopped_at=100.0,
+                 crashed=False, net_rate_cap=1.4):
+    return GroupAudit(
+        group_id="g1", mode="harmony", n_machines=4, started_at=0.0,
+        stopped_at=stopped_at, crashed=crashed,
+        cpu=cpu if cpu is not None else _resource("cpu"),
+        net=net if net is not None else _resource("net"),
+        disk=disk if disk is not None else _resource("disk"),
+        cpu_serial=True, net_rate_cap=net_rate_cap)
+
+
+def _invariants(violations):
+    return {violation.invariant for violation in violations}
+
+
+# ------------------------------------------------- audit invariants
+
+
+class TestAuditInvariants:
+    def check(self, audit):
+        out = []
+        InvariantChecker().check_audit(audit, out)
+        return out
+
+    def test_balanced_audit_is_clean(self):
+        assert self.check(_group_audit()) == []
+
+    def test_lost_work_breaks_conservation(self):
+        bad = _resource(submitted=50.0, served=40.0, busy=40.0)
+        violations = self.check(_group_audit(cpu=bad))
+        assert "work-conservation" in _invariants(violations)
+
+    def test_phantom_service_detected(self):
+        # Served more than was ever submitted: the balance is negative
+        # *and* the explicit served-vs-submitted guard fires.
+        bad = _resource(submitted=50.0, served=60.0, busy=60.0)
+        violations = self.check(_group_audit(cpu=bad))
+        assert "work-conservation" in _invariants(violations)
+
+    def test_busy_beyond_group_lifetime_detected(self):
+        bad = _resource(at=100.0, busy=120.0, submitted=120.0,
+                        served=120.0)
+        violations = self.check(_group_audit(cpu=bad))
+        assert "capacity" in _invariants(violations)
+
+    def test_queued_tasks_after_stop_detected(self):
+        bad = _resource(submitted=60.0, served=50.0, queued=10.0,
+                        queue_length=2)
+        violations = self.check(_group_audit(cpu=bad))
+        assert "teardown" in _invariants(violations)
+
+    def test_serial_cpu_busy_must_equal_served(self):
+        # Conservation holds (all submitted work was served) but busy
+        # time disagrees with served work — a unit-capacity resource
+        # cannot do that.
+        bad = _resource(busy=45.0, submitted=50.0, served=50.0)
+        violations = self.check(_group_audit(cpu=bad))
+        assert "busy-vs-served" in _invariants(violations)
+
+    def test_nic_may_overdeliver_up_to_secondary_share(self):
+        nic = _resource("net", busy=50.0, submitted=65.0, served=65.0)
+        assert self.check(_group_audit(net=nic)) == []
+
+    def test_nic_beyond_occupancy_cap_detected(self):
+        nic = _resource("net", busy=50.0, submitted=80.0, served=80.0)
+        violations = self.check(_group_audit(net=nic,
+                                             net_rate_cap=1.4))
+        assert "busy-vs-served" in _invariants(violations)
+
+    def test_violations_render_with_context(self):
+        bad = _resource(submitted=50.0, served=40.0, busy=40.0)
+        violation = self.check(_group_audit(cpu=bad))[0]
+        assert isinstance(violation, Violation)
+        text = str(violation)
+        assert "[work-conservation]" in text
+        assert "g1" in text
+
+
+# ------------------------------------------------- trace invariants
+
+
+class TestTraceInvariants:
+    def check(self, tracer, now):
+        out = []
+        InvariantChecker().check_trace(tracer, now, out)
+        return out
+
+    def test_sequential_lane_is_clean(self):
+        clock, advance = _manual_clock()
+        tracer = Tracer(clock)
+        track = tracer.track("machines 0-3 · g1", "m0 cpu")
+        tracer.complete(track, "COMP", 0.0, 2.0, cat="comp")
+        tracer.complete(track, "COMP", 2.0, 4.0, cat="comp")
+        advance(4.0)
+        assert self.check(tracer, 4.0) == []
+
+    def test_open_span_detected(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.begin(tracer.track("p", "t"), "work", cat="comp")
+        violations = self.check(tracer, 1.0)
+        assert "open-spans" in _invariants(violations)
+
+    def test_instants_out_of_order_detected(self):
+        clock, advance = _manual_clock(5.0)
+        tracer = Tracer(clock)
+        tracer.instant("late")
+        advance(-2.0)
+        tracer.instant("early")
+        violations = self.check(tracer, 10.0)
+        assert "instant-order" in _invariants(violations)
+
+    def test_span_outside_run_bounds_detected(self):
+        tracer = Tracer(lambda: 0.0)
+        track = tracer.track("p", "t")
+        tracer.complete(track, "COMP", 1.0, 9.0, cat="comp")
+        violations = self.check(tracer, 4.0)  # run only lasted to t=4
+        assert "span-bounds" in _invariants(violations)
+
+    def test_overlapping_spans_in_one_lane_detected(self):
+        tracer = Tracer(lambda: 10.0)
+        track = tracer.track("machines 0-3 · g1", "m0 cpu")
+        tracer.complete(track, "COMP", 0.0, 5.0, cat="comp")
+        tracer.complete(track, "COMP", 3.0, 8.0, cat="comp")
+        violations = self.check(tracer, 10.0)
+        assert "lane-overlap" in _invariants(violations)
+
+    def _group_tracer(self, mode):
+        """A tracer whose group-start instant joins pid -> mode."""
+        tracer = Tracer(lambda: 10.0)
+        tracer.instant("group-start", cat="lifecycle",
+                       args={"group": "g1", "machines": "0-3",
+                             "mode": mode})
+        return tracer
+
+    def test_concurrent_comp_on_coordinated_group_detected(self):
+        tracer = self._group_tracer("harmony")
+        # Distinct lanes (no lane-overlap), same group process: two
+        # COMP subtasks in service at once violates §IV-A exclusivity.
+        a = tracer.track("machines 0-3 · g1", "m0 cpu")
+        b = tracer.track("machines 0-3 · g1", "m1 cpu")
+        tracer.complete(a, "COMP", 0.0, 5.0, cat="comp")
+        tracer.complete(b, "COMP", 1.0, 6.0, cat="comp")
+        violations = self.check(tracer, 10.0)
+        assert "comp-exclusive" in _invariants(violations)
+        assert "lane-overlap" not in _invariants(violations)
+
+    def test_naive_group_is_exempt_from_occupancy_limits(self):
+        tracer = self._group_tracer("naive")
+        a = tracer.track("machines 0-3 · g1", "m0 cpu")
+        b = tracer.track("machines 0-3 · g1", "m1 cpu")
+        tracer.complete(a, "COMP", 0.0, 5.0, cat="comp")
+        tracer.complete(b, "COMP", 1.0, 6.0, cat="comp")
+        assert self.check(tracer, 10.0) == []
+
+    def test_primary_plus_secondary_comm_is_allowed(self):
+        tracer = self._group_tracer("harmony")
+        a = tracer.track("machines 0-3 · g1", "m0 net")
+        b = tracer.track("machines 0-3 · g1", "m1 net")
+        tracer.complete(a, "PUSH", 0.0, 5.0, cat="comm")
+        tracer.complete(b, "PULL", 1.0, 6.0, cat="comm")
+        assert self.check(tracer, 10.0) == []
+
+    def test_third_concurrent_comm_subtask_detected(self):
+        tracer = self._group_tracer("harmony")
+        for index in range(3):
+            track = tracer.track("machines 0-3 · g1",
+                                 f"m{index} net")
+            tracer.complete(track, "PUSH", float(index),
+                            float(index) + 3.0, cat="comm")
+        violations = self.check(tracer, 10.0)
+        assert "comm-occupancy" in _invariants(violations)
+
+    def test_back_to_back_handoffs_do_not_count_as_overlap(self):
+        tracer = self._group_tracer("harmony")
+        a = tracer.track("machines 0-3 · g1", "m0 cpu")
+        b = tracer.track("machines 0-3 · g1", "m1 cpu")
+        tracer.complete(a, "COMP", 0.0, 5.0, cat="comp")
+        tracer.complete(b, "COMP", 5.0, 9.0, cat="comp")
+        assert self.check(tracer, 10.0) == []
+
+
+# ------------------------------------------------- whole-run checks
+
+
+class TestCheckedRuns:
+    @pytest.fixture(scope="class")
+    def runtime(self):
+        specs = [replace(spec, iterations=3) for spec in
+                 WorkloadGenerator(3).base_workload(
+                     hyper_params_per_pair=1)[:5]]
+        runtime = HarmonyRuntime(24, specs,
+                                 config=SimConfig().with_tracing())
+        runtime.run()
+        return runtime
+
+    def test_clean_run_has_no_violations(self, runtime):
+        assert InvariantChecker().check_runtime(runtime) == []
+
+    def test_assert_clean_passes_on_clean_run(self, runtime):
+        InvariantChecker().assert_clean(runtime)
+
+    def test_duplicated_cycle_is_caught(self, runtime):
+        # A cycle recorded twice means an iteration executed twice
+        # without a crash rollback justifying it.
+        cycles = runtime.master.finished_cycles
+        cycles.append(cycles[0])
+        try:
+            violations = InvariantChecker().check_runtime(runtime)
+        finally:
+            cycles.pop()
+        assert "no-lost-iterations" in _invariants(violations)
+
+    def test_assert_clean_raises_and_carries_violations(self, runtime):
+        cycles = runtime.master.finished_cycles
+        cycles.append(cycles[0])
+        try:
+            with pytest.raises(InvariantViolationError) as excinfo:
+                InvariantChecker().assert_clean(runtime)
+        finally:
+            cycles.pop()
+        assert excinfo.value.violations
+        assert all(isinstance(v, Violation)
+                   for v in excinfo.value.violations)
+
+    def test_unpurged_crash_queue_is_caught(self, monkeypatch):
+        """Regression oracle: killed processes leave in-flight subtasks
+        queued; without the purge the checker flags them at teardown."""
+        from repro.sim.resources import RateResource
+        monkeypatch.setattr(RateResource, "purge",
+                            lambda self: 0.0)
+        jobs = WorkloadGenerator(3).base_workload(
+            hyper_params_per_pair=1)
+        runtime = HarmonyRuntime(24, jobs)
+        master = runtime.master
+        for spec in runtime.workload:
+            master.sim.call_at(spec.submit_time,
+                               lambda s=spec: master.submit(s))
+        master.sim.run(until=1800.0)
+        victim = next(m.machine_id for m in runtime.cluster.machines
+                      if runtime.cluster.owner_of(m.machine_id))
+        master.inject_machine_failure(victim)
+        violations = InvariantChecker().check_runtime(runtime)
+        assert "teardown" in _invariants(violations)
+
+
+# ------------------------------------------------ scenario generator
+
+
+class TestScenarioGenerator:
+    def test_same_seed_reproduces_the_scenario(self):
+        first = ScenarioGenerator(11).generate()
+        second = ScenarioGenerator(11).generate()
+        assert first.describe() == second.describe()
+        assert first.specs == second.specs
+        assert first.n_machines == second.n_machines
+        assert (first.fault_plan is None) == (second.fault_plan is None)
+        if first.fault_plan is not None:
+            assert first.fault_plan.events == second.fault_plan.events
+
+    def test_replay_command_names_the_seed(self):
+        scenario = ScenarioGenerator(123).generate()
+        assert scenario.replay_command.endswith("--seed 123")
+        assert "python -m repro check" in scenario.replay_command
+
+    def test_seeds_explore_the_knob_space(self):
+        scenarios = [ScenarioGenerator(seed).generate()
+                     for seed in range(30)]
+        orders = {s.config.scheduler.admission_order for s in scenarios}
+        assert len(orders) >= 2
+        assert any(s.fault_plan is not None for s in scenarios)
+        assert any(s.fault_plan is None for s in scenarios)
+        assert any(s.config.memory.fixed_alpha is not None
+                   for s in scenarios)
+        assert any(s.config.memory.fixed_alpha is None
+                   for s in scenarios)
+        assert any(s.specs[-1].submit_time > 0 for s in scenarios)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_every_seed_yields_a_well_formed_scenario(self, seed):
+        scenario = ScenarioGenerator(seed).generate()
+        assert 20 <= scenario.n_machines <= 32
+        assert 3 <= len(scenario.specs) <= 8
+        submit_times = [spec.submit_time for spec in scenario.specs]
+        assert submit_times == sorted(submit_times)
+        for spec in scenario.specs:
+            assert 3 <= spec.iterations <= 8
+        assert scenario.config.trace.enabled
+        assert scenario.config.seed == seed
+
+
+class TestFuzzedScenarios:
+    @given(seed=st.integers(min_value=0, max_value=99_999))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_scenarios_hold_all_invariants(self, seed):
+        """The tentpole end-to-end property: any seeded scenario —
+        faults, regroups, staggered arrivals, fixed alpha — runs the
+        full simulator without violating a single run-level
+        invariant."""
+        checked = run_checked(ScenarioGenerator(seed).generate())
+        assert checked.ok, checked.report()
+        assert checked.finished_jobs > 0
+
+    def test_failing_run_reports_the_replay_command(self):
+        scenario = ScenarioGenerator(99).generate()
+        checked = CheckedRun(
+            scenario=scenario,
+            violations=[Violation("teardown", "group g7",
+                                  "2 task(s) still queued")])
+        assert not checked.ok
+        report = checked.report()
+        assert "FAIL" in report
+        assert scenario.replay_command in report
+
+
+# ------------------------------------------------- differential suite
+
+
+class TestDifferential:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_differential(n_cases=20, seed=2021)
+
+    def test_simulator_matches_eq1_within_tolerance(self, report):
+        assert len(report.perfmodel) >= 20
+        assert report.perfmodel_max_error <= PERFMODEL_CASE_TOL, \
+            report.summary()
+        assert report.perfmodel_mean_error <= PERFMODEL_MEAN_TOL, \
+            report.summary()
+
+    def test_harmony_within_bounded_gap_of_oracle(self, report):
+        assert len(report.oracle) >= 20
+        assert report.oracle_max_gap <= ORACLE_CASE_GAP, \
+            report.summary()
+        assert report.oracle_mean_gap <= ORACLE_MEAN_GAP, \
+            report.summary()
+
+    def test_report_verdict_and_summary(self, report):
+        assert report.ok
+        assert report.failures() == []
+        summary = report.summary()
+        assert "Eq.1" in summary and "oracle" in summary
+
+    def test_exact_metrics_mirror_the_cost_model(self):
+        cost_model = CostModel()
+        spec = WorkloadGenerator(3).base_workload(
+            hyper_params_per_pair=1)[0]
+        metrics = exact_metrics(cost_model, spec, m=8)
+        profile = cost_model.profile(spec, 8)
+        assert metrics.cpu_work == pytest.approx(profile.t_comp * 8)
+        assert metrics.t_net == pytest.approx(
+            profile.t_pull + profile.t_push)
+        assert metrics.m_observed == 8
+
+    def test_oracle_gap_is_one_sided(self):
+        # Harmony beating the oracle's prefix-restricted search is not
+        # an error: the gap clamps at zero.
+        better = OracleCase(n_jobs=4, n_machines=8,
+                            harmony_score=1.2, oracle_score=1.0)
+        assert better.gap == 0.0
+        worse = OracleCase(n_jobs=4, n_machines=8,
+                           harmony_score=0.8, oracle_score=1.0)
+        assert worse.gap == pytest.approx(0.2)
+
+    def test_perfmodel_case_error_is_relative(self):
+        case = PerfModelCase(job_ids=("j",), m=4, predicted=10.0,
+                             measured=11.0)
+        assert case.rel_error == pytest.approx(0.1)
+        degenerate = PerfModelCase(job_ids=("j",), m=4, predicted=0.0,
+                                   measured=1.0)
+        assert degenerate.rel_error == 0.0
+
+
+# --------------------------------------------------------- CLI entry
+
+
+class TestCheckCli:
+    def test_rotating_seed_is_deterministic_and_fresh(self):
+        assert _rotating_seed(417) == _rotating_seed(417)
+        seen = {_rotating_seed(token) for token in range(50)}
+        assert len(seen) == 50  # distinct runs explore distinct seeds
+        assert seen.isdisjoint(DEFAULT_SEEDS)
+
+    def test_passing_seed_exits_zero(self, capsys):
+        assert check_main(["--seed", "2021"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "seed 2021" in out
+
+    def test_failure_exits_nonzero_with_replay_command(self, capsys,
+                                                       monkeypatch):
+        import repro.check.cli as cli
+
+        def failing_run(scenario, checker):
+            return CheckedRun(
+                scenario=scenario,
+                violations=[Violation("barrier-safety", "job j",
+                                      "iterations overlap")])
+
+        monkeypatch.setattr(cli, "run_checked", failing_run)
+        assert check_main(["--seed", "5"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "replay: PYTHONPATH=src python -m repro check --seed 5" \
+            in captured.out
+
+    def test_differential_flag_runs_the_suites(self, capsys,
+                                               monkeypatch):
+        import repro.check.cli as cli
+
+        class _Report:
+            def summary(self):
+                return "differential: stubbed"
+
+            def failures(self):
+                return []
+
+        calls = {}
+
+        def fake_differential(n_cases, seed):
+            calls["n_cases"], calls["seed"] = n_cases, seed
+            return _Report()
+
+        def passing_run(scenario, checker):
+            return CheckedRun(scenario=scenario, violations=[],
+                              finished_jobs=len(scenario.specs))
+
+        monkeypatch.setattr(cli, "run_differential", fake_differential)
+        monkeypatch.setattr(cli, "run_checked", passing_run)
+        assert check_main(["--seed", "3", "--differential",
+                           "--cases", "7"]) == 0
+        assert calls == {"n_cases": 7, "seed": 3}
+        assert "differential: stubbed" in capsys.readouterr().out

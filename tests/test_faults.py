@@ -6,8 +6,10 @@ import time
 
 import pytest
 
+from repro.check import InvariantChecker
 from repro.cluster.cluster import Cluster
 from repro.config import MachineSpec
+from repro.core.job import JobState
 from repro.core.runtime import HarmonyRuntime
 from repro.core.subtask import SubTaskKind
 from repro.core.synchronizer import SubTaskSynchronizer
@@ -108,6 +110,41 @@ class TestSynchronizerFaultPaths:
 
     def test_release_of_unknown_job_is_a_no_op(self):
         SubTaskSynchronizer().release_job("ghost")
+
+    def test_double_release_during_migration_is_idempotent(self):
+        """Regression for the regroup/fault interleaving: a crash
+        landing while a migration's release is already in flight must
+        not double-release the barrier — the blocked worker wakes
+        exactly once, and a post-recovery re-registration restores a
+        fully functional barrier."""
+        synchronizer = SubTaskSynchronizer(timeout=5.0)
+        synchronizer.register_job("j", 2)
+        outcome = []
+
+        def worker():
+            outcome.append(synchronizer.arrive("j", 0, SubTaskKind.PULL))
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let the worker block at the barrier
+        synchronizer.release_job("j")  # migration checkpoint pause
+        synchronizer.release_job("j")  # crash hits the same group
+        thread.join(timeout=5.0)
+        assert outcome == [False]
+        assert synchronizer.pending("j") == 0
+        # Recovery re-registers (possibly with fewer workers): barriers
+        # work again and no stale arrival survived the double release.
+        synchronizer.register_job("j", 1)
+        assert synchronizer.arrive("j", 1, SubTaskKind.PULL) is True
+        assert synchronizer.pending("j") == 0
+
+    def test_release_then_unregister_leaves_no_state(self):
+        synchronizer = SubTaskSynchronizer(timeout=5.0)
+        synchronizer.register_job("j", 2)
+        synchronizer.release_job("j")
+        synchronizer.unregister_job("j")
+        assert not synchronizer._arrived
+        assert synchronizer.pending("j") is None
 
     def test_completed_barriers_do_not_leak(self):
         """Regression: completed (job, iteration, kind) keys used to stay
@@ -264,6 +301,41 @@ class TestCrashRecoveryEndToEnd:
             assert 0 <= rollback <= interval
             # Never rolled back past the job's total work.
             assert job.remaining_iterations <= job.spec.iterations
+
+    def test_crash_during_inflight_pause_checkpoint(self):
+        """Regroup/fault interleaving: a machine dies while one of its
+        jobs is pausing for a migration checkpoint.  The job must be
+        rolled back exactly once (not once for the pause and once for
+        the crash), and the resumed run must finish with every
+        run-level invariant intact."""
+        jobs = WorkloadGenerator(3).base_workload(hyper_params_per_pair=1)
+        runtime = HarmonyRuntime(24, jobs)
+        master = runtime.master
+        master.sim.spawn(runtime._pacer(), name="pacer")
+        for spec in runtime.workload:
+            master.sim.call_at(spec.submit_time,
+                               lambda s=spec: master.submit(s))
+        master.sim.run(until=3600.0)
+        group = next(g for g in master.groups.values() if g.n_jobs >= 2)
+        migrating = group.jobs()[0]
+        group.request_pause(migrating.job_id)  # checkpoint in flight
+        before = {j.job_id: j.remaining_iterations
+                  for j in group.jobs()}
+        displaced = master.inject_machine_failure(group.machine_ids[0])
+        assert migrating.job_id in displaced
+        interval = \
+            runtime.config.execution.checkpoint_interval_iterations
+        for job_id in displaced:
+            job = master.jobs[job_id]
+            rollback = job.remaining_iterations - before[job_id]
+            assert 0 <= rollback <= interval  # rolled back at most once
+            # The pump may have re-admitted the victim already.
+            assert job.state in (JobState.PAUSED, JobState.RUNNING)
+        master.sim.run()
+        assert all(j.state is JobState.FINISHED
+                   for j in master.jobs.values())
+        assert master.rolled_back_iterations  # the crash was accounted
+        assert InvariantChecker().check_runtime(runtime) == []
 
 
 class TestTransientFaults:

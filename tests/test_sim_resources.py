@@ -186,3 +186,90 @@ class TestAccounting:
         cpu.close_segments()
         assert len(cpu.segments) == 2
         assert cpu.busy_seconds == pytest.approx(3.0)
+
+
+class TestConservationLedger:
+    """The work-conservation counters consumed by repro.check."""
+
+    def test_audit_balances_mid_run(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(5.0)
+        cpu.submit(3.0)
+        sim.run(until=2.0)
+        audit = cpu.audit()
+        assert audit.work_submitted == pytest.approx(8.0)
+        assert audit.work_served == pytest.approx(2.0)
+        assert audit.work_discarded == 0.0
+        assert audit.queued_work == pytest.approx(6.0)
+        assert audit.queue_length == 2
+        assert audit.work_submitted == pytest.approx(
+            audit.work_served + audit.work_discarded
+            + audit.queued_work)
+
+    def test_cancel_moves_work_to_discarded(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(5.0)
+        waiting = cpu.submit(4.0)
+        cpu.cancel(waiting)
+        drain(sim)
+        audit = cpu.audit()
+        assert audit.work_served == pytest.approx(5.0)
+        assert audit.work_discarded == pytest.approx(4.0)
+        assert audit.queued_work == 0.0
+
+    def test_purge_drops_all_queued_work(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(5.0)
+        cpu.submit(3.0)
+        sim.run(until=2.0)
+        dropped = cpu.purge()
+        assert dropped == pytest.approx(6.0)  # 3.0 in flight + 3.0 waiting
+        audit = cpu.audit()
+        assert audit.queue_length == 0
+        assert audit.work_served == pytest.approx(2.0)
+        assert audit.work_discarded == pytest.approx(6.0)
+        # Served work stays frozen afterwards: nothing phantom-runs.
+        sim.run()
+        assert cpu.audit().work_served == pytest.approx(2.0)
+
+    def test_purge_empty_resource_is_a_no_op(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        assert cpu.purge() == 0.0
+        assert cpu.audit().work_discarded == 0.0
+
+
+class TestSegmentSealing:
+    """close_segments() idempotency: sealed history never mutates."""
+
+    def test_double_close_does_not_duplicate_final_segment(self, sim):
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(2.0)
+        cpu.submit(3.0)
+        drain(sim)
+        cpu.close_segments()
+        snapshot = [(s.start, s.end, s.level) for s in cpu.segments]
+        cpu.close_segments()
+        cpu.close_segments()
+        assert [(s.start, s.end, s.level)
+                for s in cpu.segments] == snapshot
+        assert len(cpu.segments) == 1
+
+    def test_sealed_segments_survive_later_contiguous_work(self, sim):
+        """Regression: a shallow copy taken at close_segments() used to
+        alias the live final segment — contiguous same-level work
+        arriving later mutated its ``end`` in place."""
+        cpu = RateResource(sim, serial(), "cpu")
+        cpu.submit(2.0)
+        drain(sim)
+        cpu.close_segments()
+        snapshot = [(s.start, s.end) for s in cpu.segments]
+        assert snapshot == [(0.0, 2.0)]
+        # Same busy level, zero idle gap: mergeable before the seal.
+        cpu.submit(3.0)
+        drain(sim)
+        cpu.close_segments()
+        assert [(s.start, s.end) for s in cpu.segments[:1]] == snapshot
+        assert len(cpu.segments) == 2
+        assert cpu.segments[1].start == pytest.approx(2.0)
+        assert cpu.segments[1].end == pytest.approx(5.0)
+        assert cpu.busy_seconds == pytest.approx(5.0)

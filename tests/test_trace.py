@@ -222,3 +222,63 @@ class TestTracedRuns:
         assert rows == sorted(rows)
         names = [name for _kind, name, _value in rows]
         assert any(name == "scheduler.migrations" for name in names)
+
+    # -- event-ordering guarantees (what repro.check relies on) --------
+
+    def test_instants_recorded_in_time_order(self, traced_result):
+        times = [i.time for i in traced_result.trace.instants]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+
+    def test_spans_have_sane_bounds(self, traced_result):
+        for span in traced_result.trace.spans:
+            assert span.start >= 0.0
+            assert span.end >= span.start
+
+    def test_service_lanes_never_overlap(self, traced_result):
+        """Per-machine lane monotonicity: each (process, thread) lane
+        serves one subtask at a time, so its service spans — sorted by
+        start — form a chain of disjoint intervals."""
+        service = {"comp", "comm", "load", "reload", "checkpoint",
+                   "stall", "wait"}
+        lanes = {}
+        for span in traced_result.trace.spans:
+            if span.cat in service:
+                key = (span.track.pid, span.track.tid)
+                lanes.setdefault(key, []).append(span)
+        assert lanes
+        for spans in lanes.values():
+            spans.sort(key=lambda s: (s.start, s.end))
+            for prev, cur in zip(spans, spans[1:]):
+                assert cur.start >= prev.end - 1e-9, \
+                    f"{cur.name} overlaps {prev.name}"
+
+    def test_group_start_instants_join_pid_to_mode(self, traced_result):
+        """The checker maps trace lanes to execution modes through the
+        group-start instants; pin the args they must carry."""
+        starts = [i for i in traced_result.trace.instants
+                  if i.name == "group-start"]
+        assert starts
+        for instant in starts:
+            assert instant.args is not None
+            assert {"group", "machines", "mode"} <= instant.args.keys()
+        # Every group process name ends with the group id announced in
+        # a group-start instant, so the join is total.
+        announced = {str(i.args["group"]) for i in starts}
+        tracer = traced_result.trace
+        group_pids = {pid for pid, name in tracer.process_names.items()
+                      if name.rsplit(" · ", 1)[-1] in announced}
+        span_pids = {s.track.pid for s in tracer.spans
+                     if s.cat in {"comp", "comm"}}
+        assert span_pids <= group_pids
+
+    def test_checker_accepts_a_real_traced_run(self, traced_result):
+        from repro.check import InvariantChecker
+
+        tracer = traced_result.trace
+        horizon = max(
+            [s.end for s in tracer.spans]
+            + [i.time for i in tracer.instants])
+        out = []
+        InvariantChecker().check_trace(tracer, horizon, out)
+        assert out == []
