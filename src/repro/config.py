@@ -110,6 +110,9 @@ class SchedulerConfig:
     #: "critical" = the top-decile longest jobs first (they set the
     #: makespan's critical path), then shortest-first for the rest.
     admission_order: str = "critical"
+    #: Capacity of the scheduler's prefix-plan memo (see
+    #: ``repro.core.scheduler.PlanCache``); 0 disables caching.
+    plan_cache_entries: int = 256
     #: How often the master re-evaluates the whole grouping ("Harmony
     #: constantly seeks for higher resource utilization U, and when it
     #: detects a potential improvement, it dynamically updates the jobs,

@@ -11,6 +11,20 @@ Memory feasibility is honoured: a group's floor is the smallest machine
 count at which its jobs fit even with maximal input spill (the paper's
 model-spill fallback covers the rest, but a group that cannot hold its
 models has no valid placement).
+
+The allocator is the hottest loop of the planning stack (one grant per
+machine, hundreds of machines per ``_plan_for``), so the production
+implementation solves the greedy process in closed form: the grant
+taking group ``i`` from ``a`` to ``a+1`` machines has priority
+``p_i(a) = W_i/a - T_i`` (its CPU pressure *before* the grant), the
+per-group priority sequences are strictly decreasing, and the greedy
+loop executes exactly the ``spare`` highest-priority positive grants
+(ties across groups broken by group index).  Computing that set
+directly — with the very same float divisions and comparisons the
+one-at-a-time loop would perform — produces bitwise-identical
+allocations (pinned against
+:func:`repro.core.reference.reference_allocate_machines` by the
+differential suite) in a handful of vectorized passes.
 """
 
 from __future__ import annotations
@@ -18,11 +32,17 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
 from repro.core.profiler import JobMetrics
 from repro.errors import SchedulingError
 
 #: Returns the minimum machine count for a set of co-located jobs.
 MemoryFloorFn = Callable[[Sequence[str]], int]
+
+#: Above this many candidate grants the vectorized top-``spare``
+#: selection would allocate too much memory; fall back to the heap.
+_MAX_CANDIDATES = 4_000_000
 
 
 def allocate_machines(groups: Sequence[Sequence[JobMetrics]],
@@ -51,32 +71,113 @@ def allocate_machines(groups: Sequence[Sequence[JobMetrics]],
     if sum(floors) > total_machines:
         return None  # not placeable even at the memory floors
 
-    allocation = list(floors)
-    spare = total_machines - sum(allocation)
-
+    spare = total_machines - sum(floors)
+    # Group sums stay Python-sequential on purpose: they feed the same
+    # pressure arithmetic as the reference loop, term for term.
     cpu_work = [sum(job.cpu_work for job in group) for group in groups]
     t_net = [sum(job.t_net for job in group) for group in groups]
+    if spare == 0:
+        return list(floors)
 
-    def cpu_pressure(index: int) -> float:
-        """How CPU-bound group ``index`` is at its current allocation."""
-        return cpu_work[index] / allocation[index] - t_net[index]
+    # Last machine count whose grant still has positive priority:
+    # largest a with work/a > net, decided by exactly the loop's stop
+    # comparison.  The float estimate work/net lands within a couple of
+    # the true boundary; direct-comparison nudges make it exact.
+    demand = []
+    total_demand = 0
+    for index in range(len(floors)):
+        work = cpu_work[index]
+        net = t_net[index]
+        lowest = floors[index]
+        cap = lowest + spare  # can absorb at most every spare grant
+        if net > 0.0:
+            estimate = work / net
+            bound = int(estimate) if estimate < cap else cap
+            if bound < lowest - 1:
+                bound = lowest - 1
+        else:
+            bound = cap
+        while bound < cap and work / (bound + 1) > net:
+            bound += 1
+        while bound >= lowest and work / bound <= net:
+            bound -= 1
+        wanted = bound - lowest + 1
+        if wanted > 0:
+            demand.append(wanted)
+            total_demand += wanted
+        else:
+            demand.append(0)
 
-    # Lazy max-heap: pressures only change for the group that just
-    # received a machine, so stale entries are re-pushed rather than the
-    # whole heap rebuilt (keeps §V-F-scale allocation near-linear).
-    heap = [(-cpu_pressure(i), i) for i in range(len(groups))]
+    if total_demand <= spare:
+        # Saturated: every positive-priority grant executes and the
+        # loop breaks with machines left over — order never matters.
+        return [floors[i] + demand[i] for i in range(len(floors))]
+
+    counts = np.minimum(np.array(demand, dtype=np.int64), spare)
+    n_candidates = int(counts.sum())
+    if n_candidates > _MAX_CANDIDATES:
+        return _allocate_by_heap(list(floors), spare, cpu_work, t_net)
+    base = np.array(floors, dtype=np.int64)
+    work = np.array(cpu_work, dtype=np.float64)
+    net = np.array(t_net, dtype=np.float64)
+
+    # Demand-limited: exactly the `spare` highest-priority grants
+    # execute.  Materialize every candidate grant's priority with the
+    # same division the loop would use, select the spare-th largest as
+    # the threshold, and hand the leftover threshold-tied grants to the
+    # smallest group indexes first (the heap's tuple tie-break).
+    group_index = np.repeat(np.arange(len(floors)), counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(n_candidates) - np.repeat(ends - counts, counts)
+    a_values = np.repeat(base, counts) + offsets
+    priorities = (np.repeat(work, counts) / a_values
+                  - np.repeat(net, counts))
+    threshold = np.partition(priorities, n_candidates - spare)[
+        n_candidates - spare]
+    above = priorities > threshold
+    granted = np.bincount(group_index[above], minlength=len(floors))
+    remaining = spare - int(above.sum())
+    if remaining > 0:
+        tied = np.nonzero(np.bincount(group_index[
+            priorities == threshold], minlength=len(floors)))[0]
+        granted[tied[:remaining]] += 1
+    return [int(n) for n in base + granted]
+
+
+def _allocate_by_heap(allocation: list[int], spare: int,
+                      cpu_work: list[float],
+                      t_net: list[float]) -> list[int]:
+    """Grant-by-grant max-heap loop (the reference process), with
+    consecutive grants to the same group batched via exact tuple
+    comparisons against the heap top."""
+    heap = [(t_net[i] - cpu_work[i] / allocation[i], i)
+            for i in range(len(allocation))]
     heapq.heapify(heap)
+    saturated = False
     while spare > 0 and heap:
         negative_pressure, index = heapq.heappop(heap)
-        current = cpu_pressure(index)
-        if current < -negative_pressure - 1e-12:
-            heapq.heappush(heap, (-current, index))  # stale, retry
-            continue
-        if current <= 0:
-            break  # every group is network- or job-bound: extra machines
-            # would not shorten any group iteration (Eq. 1)
-        allocation[index] += 1
-        spare -= 1
-        heapq.heappush(heap, (-cpu_pressure(index), index))
+        work = cpu_work[index]
+        net = t_net[index]
+        granted = allocation[index]
+        current = -negative_pressure
+        while True:
+            if current <= 0:
+                # Every other group's pressure is at most this one's:
+                # extra machines would not shorten any group iteration
+                # (Eq. 1); leave the remainder free for future arrivals.
+                saturated = True
+                break
+            granted += 1
+            spare -= 1
+            current = work / granted - net
+            if spare <= 0:
+                break
+            if heap and not ((-current, index) < heap[0]):
+                break  # another group pops first now
+        allocation[index] = granted
+        if saturated:
+            break
+        if spare > 0:
+            heapq.heappush(heap, (-current, index))
 
     return allocation

@@ -7,14 +7,25 @@ their job iteration time.  The scheduler then fills job groups one by
 one with jobs from the sorted list in a greedy manner to balance
 resource use.  Lastly, the algorithm fine-tunes the result by swapping
 jobs between the groups."
+
+This is the incremental implementation on the scheduler's hot path:
+group imbalances are carried as running sums updated in O(1) per
+placement and per swap, the sort runs as one C-speed ``argsort`` over
+a :class:`~repro.core.profiler.MetricsView`, and the swap loop takes
+the most-imbalanced group by a single ``argmax`` instead of sorting
+all group imbalances each pass.  The original recompute-everything
+implementation survives verbatim in :mod:`repro.core.reference`; the
+differential suite pins the two to identical partitions.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.core.profiler import JobMetrics
+import numpy as np
+
+from repro.core.profiler import JobMetrics, MetricsView
 from repro.errors import SchedulingError
 
 #: While filling a group, the next job is chosen among this many heads
@@ -29,59 +40,118 @@ def _imbalance(group: Sequence[JobMetrics], m: int) -> float:
             - sum(job.t_net for job in group))
 
 
-def assign_jobs(jobs: Sequence[JobMetrics], n_groups: int, m_ref: int,
-                max_swap_passes: int = 50) -> list[list[JobMetrics]]:
+def grouping_order(view: MetricsView, m_ref: int) -> np.ndarray:
+    """Indices of ``view`` sorted by solo iteration time, longest first.
+
+    Stable on ties, so it is exactly ``sorted(jobs, key=t_iteration,
+    reverse=True)`` — large jobs are kept together rather than spread
+    across groups.
+    """
+    keys = view.cpu_work / m_ref + view.t_net
+    return np.argsort(-keys, kind="stable")
+
+
+def extend_grouping_order(view: MetricsView, m_ref: int,
+                          order: np.ndarray, prev_n: int) -> np.ndarray:
+    """Merge jobs ``prev_n..len(view)`` into an existing sorted order.
+
+    Exact warm start for Algorithm 1's prefix loop: when two successive
+    prefixes balance at the same ``m_ref``, the longer prefix's sort
+    order is the shorter one's with the new jobs spliced in — an
+    O(n + Δ·logΔ) stable merge instead of an O(n·log n) re-sort.  New
+    jobs carry larger original indices, so inserting them *after* equal
+    keys reproduces the stable full sort bit for bit.
+    """
+    keys = view.cpu_work / m_ref + view.t_net
+    new_indices = np.arange(prev_n, len(view))
+    new_order = new_indices[np.argsort(-keys[prev_n:], kind="stable")]
+    positions = np.searchsorted(-keys[order], -keys[new_order],
+                                side="right")
+    return np.insert(order, positions, new_order)
+
+
+def assign_jobs(jobs: "Sequence[JobMetrics] | MetricsView",
+                n_groups: int, m_ref: int,
+                max_swap_passes: int = 50,
+                order: Optional[np.ndarray] = None) -> \
+        list[list[JobMetrics]]:
     """Partition ``jobs`` into ``n_groups`` balanced groups.
 
     ``m_ref`` is the DoP assumed while balancing (Algorithm 1 assumes
     all groups get an equal number of machines, so ``m_ref ≈ M / n_G``).
+    ``order`` optionally injects a precomputed :func:`grouping_order`
+    (the scheduler's warm-started prefix loop reuses it).
     """
+    view = jobs if isinstance(jobs, MetricsView) else MetricsView(jobs)
     if n_groups < 1:
         raise SchedulingError(f"need >= 1 group, got {n_groups}")
-    if n_groups > len(jobs):
+    if n_groups > len(view):
         raise SchedulingError(
-            f"{n_groups} groups for only {len(jobs)} jobs")
+            f"{n_groups} groups for only {len(view)} jobs")
     if m_ref < 1:
         raise SchedulingError(f"m_ref must be >= 1, got {m_ref}")
 
-    # Sort by solo iteration time, longest first, so that large jobs are
-    # kept together rather than spread across groups.
-    remaining = sorted(jobs, key=lambda j: j.t_iteration_at(m_ref),
-                       reverse=True)
+    if order is None:
+        order = grouping_order(view, m_ref)
+    # Python-float mirrors of the per-job arrays: the greedy fill and
+    # the swap search are scalar-sequential by nature, and list indexing
+    # is several times cheaper than NumPy scalar access.
+    t_cpu = (view.cpu_work / m_ref).tolist()
+    t_net = view.t_net.tolist()
 
-    # Even split: the first (len % n) groups take one extra job.
-    base, extra = divmod(len(remaining), n_groups)
-    groups: list[list[JobMetrics]] = []
-    for index in range(n_groups):
-        quota = base + (1 if index < extra else 0)
-        group: list[JobMetrics] = []
+    groups, imbalances = _fill_groups(order, t_cpu, t_net, n_groups)
+    _fine_tune_swaps(groups, imbalances, t_cpu, t_net, max_swap_passes)
+    return [[view.jobs[index] for index in group] for group in groups]
+
+
+def _fill_groups(order: np.ndarray, t_cpu: list, t_net: list,
+                 n_groups: int) -> tuple[list[list[int]], list[float]]:
+    """Greedy balanced fill; returns index groups + their imbalances.
+
+    Each group's imbalance is accumulated as it is filled (term order =
+    append order, exactly the from-scratch sum), so a placement costs
+    O(window) instead of O(|group|).
+    """
+    order_list = [int(index) for index in order]
+    n = len(order_list)
+    base, extra = divmod(n, n_groups)
+
+    # The candidate window always holds the first min(4, remaining)
+    # entries of the virtual sorted remaining list, in list order —
+    # popping the chosen entry and refilling from the tail preserves
+    # the reference semantics without O(n) list shifts.
+    window: list[int] = []
+    position = 0
+    groups: list[list[int]] = []
+    imbalances: list[float] = []
+    for group_index in range(n_groups):
+        quota = base + (1 if group_index < extra else 0)
+        group: list[int] = []
+        cpu_sum = 0.0
+        net_sum = 0.0
         for _ in range(quota):
-            group.append(_pick_balancing(remaining, group, m_ref))
+            while len(window) < _FILL_WINDOW and position < n:
+                window.append(order_list[position])
+                position += 1
+            current = cpu_sum - net_sum
+            best_slot = 0
+            best_cost = None
+            for slot, index in enumerate(window):
+                cost = abs(current + t_cpu[index] - t_net[index])
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_slot = slot
+            chosen = window.pop(best_slot)
+            group.append(chosen)
+            cpu_sum += t_cpu[chosen]
+            net_sum += t_net[chosen]
         groups.append(group)
-
-    _fine_tune_swaps(groups, m_ref, max_swap_passes)
-    return groups
-
-
-def _pick_balancing(remaining: list[JobMetrics], group: list[JobMetrics],
-                    m_ref: int) -> JobMetrics:
-    """Pop, from the head window of the sorted list, the job that keeps
-    the group's CPU/network use most balanced."""
-    window = min(_FILL_WINDOW, len(remaining))
-    current = _imbalance(group, m_ref)
-    best_index = 0
-    best_cost = None
-    for index in range(window):
-        candidate = remaining[index]
-        cost = abs(current + candidate.t_cpu_at(m_ref) - candidate.t_net)
-        if best_cost is None or cost < best_cost:
-            best_cost = cost
-            best_index = index
-    return remaining.pop(best_index)
+        imbalances.append(cpu_sum - net_sum)
+    return groups, imbalances
 
 
-def _fine_tune_swaps(groups: list[list[JobMetrics]], m_ref: int,
-                     max_passes: int) -> None:
+def _fine_tune_swaps(groups: list[list[int]], imbalances: list[float],
+                     t_cpu: list, t_net: list, max_passes: int) -> None:
     """Pairwise swap refinement (§IV-B3).
 
     "It first picks the most imbalanced group, and finds the group that
@@ -89,34 +159,55 @@ def _fine_tune_swaps(groups: list[list[JobMetrics]], m_ref: int,
     of jobs from each of the groups that would minimize the
     resource-imbalance for both of the groups, and swaps the two jobs.
     The fine-tuning repeats until there are no possible swap cases."
+
+    Imbalances are carried across passes; only the two groups touched
+    by a swap are re-summed (a pass costs O(|g1| + |g2|) instead of the
+    previous full O(Σ|g|) rescan), and the most-imbalanced group is a
+    single ``argmax`` (the previous implementation sorted all group
+    imbalances each pass only to read the first element).
+
+    The touched groups are *re-summed in membership order* rather than
+    updated with ``±delta``: the swap objective Σ|I| has exact plateaus
+    (every candidate that keeps both post-swap signs costs exactly
+    ``-I_a - I_b``), so the winner among tied candidates is decided by
+    float rounding — the carried sums must be bit-identical to the
+    reference path's from-scratch sums for both paths to break those
+    ties the same way.
     """
     if len(groups) < 2:
         return
+    imbalance = np.array(imbalances, dtype=np.float64)
+    magnitude = np.abs(imbalance)
     for _ in range(max_passes):
-        imbalances = [_imbalance(g, m_ref) for g in groups]
-        order = sorted(range(len(groups)), key=lambda i: -abs(imbalances[i]))
-        g1 = order[0]
+        g1 = int(np.argmax(magnitude))
         # Most complementary: the group whose imbalance is most opposite.
-        g2 = min((i for i in range(len(groups)) if i != g1),
-                 key=lambda i: imbalances[i] * (1 if imbalances[g1] > 0
-                                                else -1))
-        if not _best_swap(groups[g1], groups[g2], m_ref):
+        keyed = imbalance * (1.0 if imbalance[g1] > 0 else -1.0)
+        keyed[g1] = np.inf
+        g2 = int(np.argmin(keyed))
+        if not _best_swap(groups[g1], groups[g2],
+                          float(imbalance[g1]), float(imbalance[g2]),
+                          t_cpu, t_net):
             return
+        for index in (g1, g2):
+            group = groups[index]
+            value = (sum(t_cpu[job] for job in group)
+                     - sum(t_net[job] for job in group))
+            imbalance[index] = value
+            magnitude[index] = abs(value)
 
 
-def _best_swap(group_a: list[JobMetrics], group_b: list[JobMetrics],
-               m_ref: int) -> bool:
+def _best_swap(group_a: list[int], group_b: list[int],
+               imbalance_a: float, imbalance_b: float,
+               t_cpu: list, t_net: list) -> bool:
     """Apply the single swap that most reduces combined imbalance.
 
     Returns True if an improving swap was found and applied.
     """
-    imbalance_a = _imbalance(group_a, m_ref)
-    imbalance_b = _imbalance(group_b, m_ref)
     current_cost = abs(imbalance_a) + abs(imbalance_b)
     best = None
     best_cost = current_cost - 1e-9
-    deltas_a = [job.t_cpu_at(m_ref) - job.t_net for job in group_a]
-    deltas_b = [job.t_cpu_at(m_ref) - job.t_net for job in group_b]
+    deltas_a = [t_cpu[index] - t_net[index] for index in group_a]
+    deltas_b = [t_cpu[index] - t_net[index] for index in group_b]
 
     if len(group_a) * len(group_b) <= 4096:
         pairs = ((ia, ib) for ia in range(len(group_a))

@@ -144,6 +144,26 @@ class HarmonyMaster:
         #: Recovery accounting sink (repro.faults); optional.
         self.fault_log = fault_log
 
+        # -- incremental fast path -------------------------------------
+        #: Completions repaired by the §IV-B4 plan patch (similar job or
+        #: bundle spliced in) vs. escalated to full Algorithm 1.
+        self.fast_path_replacements = 0
+        self.full_path_regroups = 0
+        #: Memo of per-group estimates; cleared whenever the profiler
+        #: publishes or a group's membership changes, so the repeated
+        #: ``_live_estimates`` sweeps inside one decision cascade reuse
+        #: the same Eq. 1-3 evaluations.
+        self._estimate_cache: dict[tuple, Optional[GroupEstimate]] = {}
+        self.estimate_cache_hits = 0
+        self.estimate_cache_misses = 0
+        # §IV-B1: a moving-average publish is exactly when memoized
+        # estimates and plans stop matching what Algorithm 1 would
+        # recompute — wire the profiler's listener hook to both caches.
+        self.profiler.add_listener(self._on_metrics_published)
+        plan_cache = getattr(self.scheduler, "plan_cache", None)
+        if plan_cache is not None:
+            self.profiler.add_listener(plan_cache.invalidate_job)
+
     # ------------------------------------------------------------------ API
 
     def submit(self, spec: JobSpec) -> Job:
@@ -331,6 +351,7 @@ class HarmonyMaster:
         self.group_audits.append(group.audit())
         self.finished_cycles.extend(group.cycles)
         del self.groups[group_id]
+        self._estimate_cache.clear()
         self.recorder.group_stopped(group_id, self.sim.now)
         self.cluster.release_all(group_id)
         if self._rebuild is not None:
@@ -445,7 +466,17 @@ class HarmonyMaster:
                 triggered=triggered, plan_groups=len(plan.groups),
                 plan_jobs=len(plan.scheduled_job_ids),
                 prefixes_evaluated=(stats.n_prefixes_evaluated
-                                    if stats is not None else None))
+                                    if stats is not None else None),
+                cache_hits=(stats.cache_hits
+                            if stats is not None else None),
+                cache_misses=(stats.cache_misses
+                              if stats is not None else None),
+                warm_start_reuses=(stats.warm_start_reuses
+                                   if stats is not None else None),
+                fast_path=(stats.fast_path
+                           if stats is not None else None),
+                patched_completions=self.fast_path_replacements,
+                escalated_completions=self.full_path_regroups)
         if triggered:
             self._apply_plan(plan, scope_group_ids=set(stable))
 
@@ -512,7 +543,15 @@ class HarmonyMaster:
 
     def _handle_completion(self, group: GroupRuntime,
                            finished: Job) -> None:
-        """§IV-B4 case (2): repair the group of a finished job."""
+        """§IV-B4 case (2): repair the group of a finished job.
+
+        The similar-job / similar-bundle replacement is a *plan patch*:
+        the candidate splice is re-scored locally (patched group +
+        untouched rest of the cluster) and accepted only while the
+        predicted utilization stays within the 5% regroup threshold of
+        what the departed job delivered — otherwise the repair
+        escalates to the full scheduling algorithm.
+        """
         threshold = self.config.scheduler.similarity_threshold
         if not self.profiler.has(finished.job_id):
             return
@@ -523,23 +562,64 @@ class HarmonyMaster:
         replacement = find_similar_job(candidates, target, m, threshold)
         if replacement is not None:
             job = self.jobs[replacement.job_id]
-            if group.can_admit(job):
+            if group.can_admit(job) \
+                    and self._patch_accepts(group, target, [replacement],
+                                            kind="similar"):
                 self._resume_into(job, group)
+                self.fast_path_replacements += 1
                 return
 
         bundle = find_similar_bundle(candidates, target, m, threshold)
         if bundle is not None:
             jobs = [self.jobs[item.job_id] for item in bundle]
-            if all(group.can_admit(job) for job in jobs):
+            if all(group.can_admit(job) for job in jobs) \
+                    and self._patch_accepts(group, target, bundle,
+                                            kind="bundle"):
                 admitted = True
                 for job in jobs:
                     if not self._resume_into(job, group):
                         admitted = False
                         break
                 if admitted:
+                    self.fast_path_replacements += 1
                     return
 
+        self.full_path_regroups += 1
         self._escalate(group)
+
+    def _patch_accepts(self, group: GroupRuntime, target: JobMetrics,
+                       replacements: Sequence[JobMetrics],
+                       kind: str) -> bool:
+        """Score the §IV-B4 splice against what the departed job gave.
+
+        ``before`` re-seats the finished job (``target``) among the
+        survivors; ``after`` seats the proposed replacements instead.
+        The rest of the cluster is identical on both sides, so the
+        comparison isolates the splice.  Falling short by more than the
+        regroup threshold means the patched group would leave enough
+        utilization on the table that full Algorithm 1 is warranted.
+        """
+        survivors = [self.profiler.get(j.job_id) for j in group.jobs()
+                     if self.profiler.has(j.job_id)]
+        rest = self._live_estimates(
+            exclude_groups=(group.group_id,))
+        m = group.n_machines
+        before = self._score_estimates(
+            rest + [self.perf_model.estimate_group(survivors + [target],
+                                                   m)])
+        after = self._score_estimates(
+            rest + [self.perf_model.estimate_group(
+                survivors + list(replacements), m)])
+        threshold = self.config.scheduler.regroup_benefit_threshold
+        accepted = after >= before * (1.0 - threshold)
+        if self._trace is not None:
+            self._instant(
+                "plan-patch", group=group.group_id,
+                finished=target.job_id, kind=kind,
+                replacements=[item.job_id for item in replacements],
+                before=round(before, 4), after=round(after, 4),
+                accepted=accepted)
+        return accepted
 
     def _escalate(self, anchor: GroupRuntime) -> None:
         """§IV-B4 case (2) escalation: regroup over a growing scope.
@@ -806,6 +886,36 @@ class HarmonyMaster:
                 for job in self.jobs_in_state(JobState.PAUSED)
                 if self.profiler.has(job.job_id)]
 
+    def _on_metrics_published(self, job_id: str) -> None:
+        """Profiler listener: drop estimates that may mention the job."""
+        del job_id  # any group containing it is suspect; clear all
+        self._estimate_cache.clear()
+
+    def _group_estimate(self, group: GroupRuntime,
+                        exclude_job: Optional[str] = None) -> \
+            Optional[GroupEstimate]:
+        """One group's Eq. 1-3 estimate, memoized between invalidations.
+
+        The placement-option sweep of ``_on_job_profiled`` calls
+        ``_live_estimates`` once per candidate group, re-estimating
+        every *other* group each time — O(G²) estimate evaluations per
+        decision.  Entries stay valid until the profiler publishes or a
+        membership changes (both clear the cache), so one cascade pays
+        each group once.
+        """
+        key = (group.group_id, exclude_job)
+        if key in self._estimate_cache:
+            self.estimate_cache_hits += 1
+            return self._estimate_cache[key]
+        self.estimate_cache_misses += 1
+        metrics = [self.profiler.get(j.job_id) for j in group.jobs()
+                   if self.profiler.has(j.job_id)
+                   and j.job_id != exclude_job]
+        estimate = self.perf_model.estimate_group(
+            metrics, group.n_machines) if metrics else None
+        self._estimate_cache[key] = estimate
+        return estimate
+
     def _live_estimates(self, exclude_job: Optional[str] = None,
                         exclude_groups: Sequence[str] = ()) -> \
             list[GroupEstimate]:
@@ -813,12 +923,9 @@ class HarmonyMaster:
         for group_id, group in self.groups.items():
             if group_id in exclude_groups:
                 continue
-            metrics = [self.profiler.get(j.job_id) for j in group.jobs()
-                       if self.profiler.has(j.job_id)
-                       and j.job_id != exclude_job]
-            if metrics:
-                estimates.append(self.perf_model.estimate_group(
-                    metrics, group.n_machines))
+            estimate = self._group_estimate(group, exclude_job)
+            if estimate is not None:
+                estimates.append(estimate)
         return estimates
 
     def _score_estimates(self, estimates: Sequence[GroupEstimate]) -> float:
@@ -894,6 +1001,7 @@ class HarmonyMaster:
     def _note_membership_change(self, group: GroupRuntime) -> None:
         """Close the group's open prediction epoch and start a new one."""
         now = self.sim.now
+        self._estimate_cache.clear()
         self._close_decision(group, now)
         metrics = [self.profiler.get(j.job_id) for j in group.jobs()
                    if self.profiler.has(j.job_id)]

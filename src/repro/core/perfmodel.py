@@ -21,6 +21,7 @@ levels").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Optional, Sequence
 
 from repro.core.profiler import JobMetrics
@@ -40,9 +41,15 @@ class UtilizationVector:
     cpu: float
     net: float
 
-    def weighted_score(self, cpu_weight: float = 0.75) -> float:
+    def weighted_score(self, cpu_weight: float) -> float:
         """Scalar objective: CPU counts more than network because "CPU
-        resources directly contribute to the job progress" (§IV-B2)."""
+        resources directly contribute to the job progress" (§IV-B2).
+
+        ``cpu_weight`` is deliberately *not* defaulted here: the one
+        authoritative default lives in ``SchedulerConfig.cpu_weight``,
+        and every scoring path goes through :meth:`PerfModel.score` so
+        the two can never silently diverge.
+        """
         return cpu_weight * self.cpu + (1.0 - cpu_weight) * self.net
 
     def __iter__(self):
@@ -60,12 +67,14 @@ class GroupEstimate:
     t_net_sum: float
     t_itr_max: float
 
-    @property
+    # Cached, not recomputed: estimates are immutable and the planning
+    # stack re-reads these on every candidate-plan scoring pass.
+    @cached_property
     def t_group_iteration(self) -> float:
         """Eq. 1."""
         return max(self.t_cpu_sum, self.t_net_sum, self.t_itr_max)
 
-    @property
+    @cached_property
     def utilization(self) -> UtilizationVector:
         """Eq. 3."""
         t_g = self.t_group_iteration

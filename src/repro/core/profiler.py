@@ -14,6 +14,9 @@ average remains meaningful across regroupings.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import SchedulingError
 
@@ -51,14 +54,98 @@ class JobMetrics:
         return self.t_cpu_at(m) / self.t_net
 
 
+class MetricsView:
+    """Struct-of-arrays view over an ordered list of job metrics.
+
+    Algorithm 1 evaluates hundreds of overlapping job sets per
+    ``schedule()`` call; re-reading ``cpu_work``/``t_net`` through
+    per-object attribute access in every sub-step (the L6 group-count
+    cost, the grouping fill, the swap fine-tuning, group estimates)
+    dominates its runtime.  A view extracts the two arrays once and
+    hands every consumer C-speed slices instead.  ``prefix()`` returns
+    a sub-view sharing the parent's memory, so the L4 prefix loop pays
+    the extraction exactly once per call.
+
+    The view also quacks like a sequence of :class:`JobMetrics`, so
+    non-vectorized consumers (the reference path, ``allocate_machines``)
+    accept one transparently.
+    """
+
+    __slots__ = ("jobs", "cpu_work", "t_net")
+
+    def __init__(self, jobs: Sequence[JobMetrics],
+                 cpu_work: "np.ndarray | None" = None,
+                 t_net: "np.ndarray | None" = None):
+        self.jobs = tuple(jobs)
+        if cpu_work is None:
+            cpu_work = np.fromiter(
+                (job.cpu_work for job in self.jobs), dtype=np.float64,
+                count=len(self.jobs))
+        if t_net is None:
+            t_net = np.fromiter(
+                (job.t_net for job in self.jobs), dtype=np.float64,
+                count=len(self.jobs))
+        self.cpu_work = cpu_work
+        self.t_net = t_net
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobMetrics]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> JobMetrics:
+        return self.jobs[index]
+
+    def prefix(self, k: int) -> "MetricsView":
+        """The first ``k`` jobs, sharing this view's arrays."""
+        if k >= len(self.jobs):
+            return self
+        return MetricsView(self.jobs[:k], self.cpu_work[:k],
+                           self.t_net[:k])
+
+    def t_cpu_at(self, m: int) -> np.ndarray:
+        """Eq. 2, vectorized: predicted COMP time per job at DoP ``m``."""
+        if m < 1:
+            raise SchedulingError(f"DoP must be >= 1, got {m}")
+        return self.cpu_work / m
+
+    def t_iteration_at(self, m: int) -> np.ndarray:
+        """Predicted solo iteration time per job at DoP ``m``."""
+        return self.t_cpu_at(m) + self.t_net
+
+
+#: Callback invoked as ``listener(job_id)`` whenever a job's moving
+#: averages change (or the job is forgotten).
+MetricsListener = Callable[[str], None]
+
+
 class Profiler:
-    """Moving-average store of per-job metrics."""
+    """Moving-average store of per-job metrics.
+
+    The profiler is the single source of truth the scheduler's caches
+    key on: every publish bumps :attr:`version` and notifies the
+    registered listeners, so memoized estimates and plans are
+    invalidated exactly when §IV-B1's moving averages move.
+    """
 
     def __init__(self, ema_alpha: float = 0.3):
         if not 0.0 < ema_alpha <= 1.0:
             raise SchedulingError(f"ema_alpha {ema_alpha} not in (0, 1]")
         self.ema_alpha = ema_alpha
         self._metrics: dict[str, JobMetrics] = {}
+        #: Bumped on every record/forget; caches stamp entries with it.
+        self.version = 0
+        self._listeners: list[MetricsListener] = []
+
+    def add_listener(self, listener: MetricsListener) -> None:
+        """Subscribe to metric updates (cache-invalidation hook)."""
+        self._listeners.append(listener)
+
+    def _publish(self, job_id: str) -> None:
+        self.version += 1
+        for listener in self._listeners:
+            listener(job_id)
 
     # -- recording ---------------------------------------------------------
 
@@ -98,6 +185,7 @@ class Profiler:
                 m_observed=m,
                 samples=samples)
         self._metrics[job_id] = updated
+        self._publish(job_id)
         return updated
 
     # -- queries -----------------------------------------------------------
@@ -113,7 +201,8 @@ class Profiler:
 
     def forget(self, job_id: str) -> None:
         """Drop a finished job's metrics."""
-        self._metrics.pop(job_id, None)
+        if self._metrics.pop(job_id, None) is not None:
+            self._publish(job_id)
 
     def known_jobs(self) -> list[str]:
         return sorted(self._metrics)

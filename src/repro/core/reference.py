@@ -1,0 +1,245 @@
+"""Reference (pre-optimization) implementations of the planning stack.
+
+The scheduler's production path (:mod:`repro.core.grouping`,
+:mod:`repro.core.scheduler`) is incremental: it shares a struct-of-
+arrays :class:`~repro.core.profiler.MetricsView` across Algorithm 1's
+sub-steps, maintains group imbalances as O(1) running sums, reuses the
+sorted job order across prefixes, and memoizes whole prefix plans.
+Every one of those shortcuts is an *optimization*, not a semantic
+change — this module keeps the original recompute-everything
+implementations, verbatim, as the ground truth the differential tests
+(``tests/test_sched_fastpath.py``) and the churn benchmark
+(``benchmarks/bench_sched_churn.py``) compare against.
+
+Plan assembly and scoring (:class:`~repro.core.perfmodel.PerfModel`)
+are shared with the production path on purpose: the fast path must
+produce bitwise-equal plans, so both paths must score candidate plans
+with the exact same floating-point arithmetic.  Machine allocation is
+frozen here too (:func:`reference_allocate_machines`, the original
+one-machine-per-heap-round-trip loop); the production allocator batches
+grants but performs the identical divisions and comparisons, so the
+allocations — and therefore the plans — stay bitwise equal.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Optional, Sequence
+
+from repro.core.allocation import MemoryFloorFn
+from repro.core.profiler import JobMetrics
+from repro.core.scheduler import HarmonyScheduler, SchedulePlan
+from repro.errors import SchedulingError
+
+#: Head-window width of the greedy fill (must match the production
+#: path's ``grouping._FILL_WINDOW``).
+_FILL_WINDOW = 4
+
+
+def reference_imbalance(group: Sequence[JobMetrics], m: int) -> float:
+    """Signed resource imbalance, recomputed from scratch."""
+    return (sum(job.t_cpu_at(m) for job in group)
+            - sum(job.t_net for job in group))
+
+
+def reference_assign_jobs(jobs: Sequence[JobMetrics], n_groups: int,
+                          m_ref: int,
+                          max_swap_passes: int = 50) -> \
+        list[list[JobMetrics]]:
+    """The original (non-incremental) grouping algorithm (§IV-B3)."""
+    if n_groups < 1:
+        raise SchedulingError(f"need >= 1 group, got {n_groups}")
+    if n_groups > len(jobs):
+        raise SchedulingError(
+            f"{n_groups} groups for only {len(jobs)} jobs")
+    if m_ref < 1:
+        raise SchedulingError(f"m_ref must be >= 1, got {m_ref}")
+
+    remaining = sorted(jobs, key=lambda j: j.t_iteration_at(m_ref),
+                       reverse=True)
+
+    base, extra = divmod(len(remaining), n_groups)
+    groups: list[list[JobMetrics]] = []
+    for index in range(n_groups):
+        quota = base + (1 if index < extra else 0)
+        group: list[JobMetrics] = []
+        for _ in range(quota):
+            group.append(_pick_balancing(remaining, group, m_ref))
+        groups.append(group)
+
+    _fine_tune_swaps(groups, m_ref, max_swap_passes)
+    return groups
+
+
+def _pick_balancing(remaining: list[JobMetrics], group: list[JobMetrics],
+                    m_ref: int) -> JobMetrics:
+    window = min(_FILL_WINDOW, len(remaining))
+    current = reference_imbalance(group, m_ref)
+    best_index = 0
+    best_cost = None
+    for index in range(window):
+        candidate = remaining[index]
+        cost = abs(current + candidate.t_cpu_at(m_ref) - candidate.t_net)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_index = index
+    return remaining.pop(best_index)
+
+
+def _fine_tune_swaps(groups: list[list[JobMetrics]], m_ref: int,
+                     max_passes: int) -> None:
+    """Pairwise swap refinement that re-derives every group's imbalance
+    on every pass (the production path carries them across passes)."""
+    if len(groups) < 2:
+        return
+    for _ in range(max_passes):
+        imbalances = [reference_imbalance(g, m_ref) for g in groups]
+        order = sorted(range(len(groups)),
+                       key=lambda i: -abs(imbalances[i]))
+        g1 = order[0]
+        g2 = min((i for i in range(len(groups)) if i != g1),
+                 key=lambda i: imbalances[i] * (1 if imbalances[g1] > 0
+                                                else -1))
+        if not _best_swap(groups[g1], groups[g2], m_ref):
+            return
+
+
+def _best_swap(group_a: list[JobMetrics], group_b: list[JobMetrics],
+               m_ref: int) -> bool:
+    imbalance_a = reference_imbalance(group_a, m_ref)
+    imbalance_b = reference_imbalance(group_b, m_ref)
+    current_cost = abs(imbalance_a) + abs(imbalance_b)
+    best = None
+    best_cost = current_cost - 1e-9
+    deltas_a = [job.t_cpu_at(m_ref) - job.t_net for job in group_a]
+    deltas_b = [job.t_cpu_at(m_ref) - job.t_net for job in group_b]
+
+    if len(group_a) * len(group_b) <= 4096:
+        pairs = ((ia, ib) for ia in range(len(group_a))
+                 for ib in range(len(group_b)))
+    else:
+        order_b = sorted(range(len(group_b)), key=deltas_b.__getitem__)
+        sorted_deltas = [deltas_b[i] for i in order_b]
+
+        def candidate_pairs():
+            for ia in range(len(group_a)):
+                target = deltas_a[ia] - (imbalance_a - imbalance_b) / 2.0
+                position = bisect.bisect_left(sorted_deltas, target)
+                for offset in (-1, 0, 1):
+                    probe = position + offset
+                    if 0 <= probe < len(order_b):
+                        yield ia, order_b[probe]
+        pairs = candidate_pairs()
+
+    for ia, ib in pairs:
+        delta_a = deltas_a[ia]
+        delta_b = deltas_b[ib]
+        new_cost = (abs(imbalance_a - delta_a + delta_b)
+                    + abs(imbalance_b - delta_b + delta_a))
+        if new_cost < best_cost:
+            best_cost = new_cost
+            best = (ia, ib)
+    if best is None:
+        return False
+    ia, ib = best
+    group_a[ia], group_b[ib] = group_b[ib], group_a[ia]
+    return True
+
+
+def reference_allocate_machines(
+        groups: Sequence[Sequence[JobMetrics]], total_machines: int,
+        memory_floor: Optional[MemoryFloorFn] = None) -> \
+        Optional[list[int]]:
+    """The original L8 allocator: one heap round-trip per machine.
+
+    The production allocator batches consecutive grants to the same
+    group; this one hands out machines strictly one heappop/heappush at
+    a time.  Both must produce identical allocations — every grant uses
+    the same divisions and the same tuple comparisons.
+    """
+    if total_machines < 1:
+        raise SchedulingError(
+            f"total_machines must be >= 1, got {total_machines}")
+    if not groups:
+        return []
+
+    floors = []
+    for group in groups:
+        if not group:
+            raise SchedulingError("cannot allocate to an empty group")
+        job_ids = [job.job_id for job in group]
+        floors.append(memory_floor(job_ids) if memory_floor else 1)
+    if sum(floors) > total_machines:
+        return None  # not placeable even at the memory floors
+
+    allocation = list(floors)
+    spare = total_machines - sum(allocation)
+
+    cpu_work = [sum(job.cpu_work for job in group) for group in groups]
+    t_net = [sum(job.t_net for job in group) for group in groups]
+
+    def cpu_pressure(index: int) -> float:
+        return cpu_work[index] / allocation[index] - t_net[index]
+
+    heap = [(-cpu_pressure(i), i) for i in range(len(groups))]
+    heapq.heapify(heap)
+    while spare > 0 and heap:
+        negative_pressure, index = heapq.heappop(heap)
+        current = cpu_pressure(index)
+        if current < -negative_pressure - 1e-12:
+            heapq.heappush(heap, (-current, index))  # stale, retry
+            continue
+        if current <= 0:
+            break  # every group is network- or job-bound
+        allocation[index] += 1
+        spare -= 1
+        heapq.heappush(heap, (-cpu_pressure(index), index))
+
+    return allocation
+
+
+class ReferenceScheduler(HarmonyScheduler):
+    """Algorithm 1 with every incremental shortcut disabled.
+
+    Inherits the outer prefix loop and the shared plan assembly from
+    :class:`HarmonyScheduler`, but re-derives each prefix's grouping
+    from scratch through the module-level reference functions, never
+    caches plans, and evaluates the L6 cost with the original Python
+    summation.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.plan_cache = None  # never serve a memoized plan
+        self._estimate_memo = None  # re-estimate every group
+
+    def _plan_for(self, jobs: Sequence[JobMetrics],
+                  total_machines: int) -> Optional[SchedulePlan]:
+        n_groups = self._pick_group_count(jobs, total_machines)
+        groups = reference_assign_jobs(
+            jobs, n_groups,
+            m_ref=max(1, total_machines // n_groups),
+            max_swap_passes=self.config.max_swap_passes)
+        allocation = reference_allocate_machines(groups, total_machines,
+                                                 self.memory_floor)
+        if allocation is None:
+            return None
+        return self.build_plan(groups, allocation, total_machines)
+
+    def _pick_group_count(self, jobs: Sequence[JobMetrics],
+                          total_machines: int) -> int:
+        from repro.core.scheduler import argmin_convex
+
+        min_groups = max(
+            1, -(-len(jobs) // self.config.max_jobs_per_group))
+        max_groups = min(len(jobs), total_machines)
+        if min_groups > max_groups:
+            min_groups = max_groups
+
+        def cost(n_g: int) -> float:
+            scale = n_g / total_machines
+            return sum(abs(job.cpu_work * scale - job.t_net)
+                       for job in jobs)
+
+        return argmin_convex(cost, min_groups, max_groups)

@@ -10,9 +10,13 @@ searches; the escalation lives in the master, which owns the groups.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.core.profiler import JobMetrics
+
+if TYPE_CHECKING:
+    from repro.core.perfmodel import PerfModel
+    from repro.core.scheduler import SchedulePlan
 
 
 def _relative_difference(a: float, b: float) -> float:
@@ -92,6 +96,46 @@ def find_similar_bundle(candidates: Sequence[JobMetrics],
             or _relative_difference(total_net, target_net) > threshold):
         return None
     return bundle
+
+
+def splice_plan(plan: "SchedulePlan", perf_model: "PerfModel",
+                group_index: int, remove_job_id: str,
+                replacements: Sequence[JobMetrics],
+                metrics_for: Callable[[str], JobMetrics]) -> "SchedulePlan":
+    """The §IV-B4 plan patch: replace one departed job in one group.
+
+    When a finished job has a profiled-similar successor, rebuilding the
+    whole plan through Algorithm 1 re-derives decisions that did not
+    change; this splices the affected group (drop ``remove_job_id``, add
+    ``replacements``), re-estimates only that group, and re-scores the
+    cluster utilization over the patched estimate set — O(|group| +
+    n_groups) instead of a full schedule.  ``metrics_for`` resolves the
+    surviving members' current metrics.  A group left empty is dropped
+    from the plan (its machines count as idle in the re-score).
+
+    The caller owns the fallback: when the patched score trips the 5%
+    regroup threshold, run the full scheduling algorithm instead.
+    """
+    from repro.core.scheduler import GroupPlan, SchedulePlan
+
+    target = plan.groups[group_index]
+    kept = [metrics_for(job_id) for job_id in target.job_ids
+            if job_id != remove_job_id]
+    members = kept + list(replacements)
+    groups = list(plan.groups)
+    if members:
+        estimate = perf_model.estimate_group(members, target.n_machines)
+        groups[group_index] = GroupPlan(job_ids=estimate.job_ids,
+                                        n_machines=target.n_machines,
+                                        estimate=estimate)
+    else:
+        del groups[group_index]
+    utilization = perf_model.cluster_utilization(
+        [group.estimate for group in groups],
+        total_machines=plan.total_machines)
+    return SchedulePlan(groups=tuple(groups), utilization=utilization,
+                        score=perf_model.score(utilization),
+                        total_machines=plan.total_machines)
 
 
 def prefer_fewer_jobs(plans: Sequence[tuple[int, float]],

@@ -7,23 +7,41 @@ under the equal-DoP assumption (``m_g = M / n_G``, so ``T_cpu ∝ n_G``),
 (L7) assigns jobs to groups, (L8) allocates machines, and keeps the
 resulting grouping while the predicted cluster utilization improves
 (L10-13).
+
+This is the *incremental* implementation: one struct-of-arrays
+:class:`~repro.core.profiler.MetricsView` is extracted per ``schedule()``
+call and shared by every sub-step, prefix sort orders are warm-started
+from earlier prefixes, and whole prefix plans are memoized in a
+:class:`PlanCache` keyed by (job-set fingerprint, machine count) —
+invalidated through the profiler's listener hook whenever a job's
+moving averages change.  The pre-optimization path survives verbatim in
+:mod:`repro.core.reference`; ``tests/test_sched_fastpath.py`` pins the
+two to identical plans.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.config import SchedulerConfig
 from repro.core.allocation import MemoryFloorFn, allocate_machines
-from repro.core.grouping import assign_jobs
+from repro.core.grouping import (assign_jobs, extend_grouping_order,
+                                 grouping_order)
 from repro.core.perfmodel import GroupEstimate, PerfModel, UtilizationVector
-from repro.core.profiler import JobMetrics
+from repro.core.profiler import JobMetrics, MetricsView
 from repro.errors import SchedulingError
 
 #: DoP at which jobs are ordered before the prefix loop (the paper's
 #: characterization DoP; the ordering only needs to be stable).
 _ORDERING_DOP = 16
+
+#: Sentinel distinguishing "not cached" from a cached infeasible plan
+#: (``None`` is a legitimate, cacheable planning outcome).
+_CACHE_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -36,6 +54,16 @@ class ScheduleStats:
     best_n_groups: int
     best_n_jobs: int
     best_score: float
+    #: Prefix plans served from :class:`PlanCache` during this call.
+    cache_hits: int = 0
+    #: Prefix plans computed from scratch during this call.
+    cache_misses: int = 0
+    #: Prefix sort orders extended from an earlier prefix instead of
+    #: re-sorted from scratch.
+    warm_start_reuses: int = 0
+    #: True when any incremental shortcut (cache hit or warm start)
+    #: contributed to this call.
+    fast_path: bool = False
 
 
 @dataclass(frozen=True)
@@ -127,6 +155,85 @@ def _prefix_sizes(n: int):
         yield n
 
 
+class PlanCache:
+    """LRU memo of prefix plans, keyed by (fingerprint, n, machines).
+
+    The master calls ``schedule()`` with heavily overlapping job pools —
+    every arrival, completion, and periodic regroup check re-plans a
+    pool that mostly repeats earlier prefixes.  Entries carry the exact
+    metrics tuple they were computed from; a lookup only hits when the
+    stored tuple compares equal, so fingerprint collisions degrade to
+    misses instead of wrong plans.  ``invalidate_job`` is wired to the
+    profiler's listener hook: a job's entries die the moment its moving
+    averages change (§IV-B1), which is exactly when a memoized plan
+    stops being the plan Algorithm 1 would recompute.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_entries", "_by_job")
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise SchedulingError(
+                f"cache needs >= 1 entry, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        #: key -> (metrics tuple, plan-or-None)
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        #: job_id -> keys of entries containing that job (invalidation
+        #: is O(affected entries), not a full scan per profiler update).
+        self._by_job: dict[str, set] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple, jobs: tuple):
+        """The cached plan, or :data:`_CACHE_MISS` when absent."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == jobs:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return _CACHE_MISS
+
+    def put(self, key: tuple, jobs: tuple,
+            plan: "SchedulePlan | None") -> None:
+        if key in self._entries:
+            self._drop(key)
+        while len(self._entries) >= self.max_entries:
+            self._drop(next(iter(self._entries)))
+        self._entries[key] = (jobs, plan)
+        for job in jobs:
+            self._by_job.setdefault(job.job_id, set()).add(key)
+
+    def invalidate_job(self, job_id: str) -> None:
+        """Drop every entry whose job set contains ``job_id``."""
+        for key in self._by_job.pop(job_id, ()):
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._unindex(key, entry[0], skip=job_id)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_job.clear()
+
+    def _drop(self, key: tuple) -> None:
+        jobs, _ = self._entries.pop(key)
+        self._unindex(key, jobs)
+
+    def _unindex(self, key: tuple, jobs: tuple,
+                 skip: "str | None" = None) -> None:
+        for job in jobs:
+            if job.job_id == skip:
+                continue
+            bucket = self._by_job.get(job.job_id)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_job[job.job_id]
+
+
 class HarmonyScheduler:
     """Implements Algorithm 1 plus the n_G* search of L6."""
 
@@ -140,6 +247,26 @@ class HarmonyScheduler:
         #: Shape of the most recent :meth:`schedule` call (None before
         #: the first call); read by the master's trace instrumentation.
         self.last_stats: Optional[ScheduleStats] = None
+        #: Prefix-plan memo; subclasses may set it to None to disable
+        #: (the reference path does), as does configuring 0 entries.
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(max_entries=self.config.plan_cache_entries)
+            if self.config.plan_cache_entries > 0 else None)
+        #: Per-call warm-start state: m_ref -> (sorted order, #jobs it
+        #: covers).  Orders index into the current call's admission
+        #: order, so the dict only lives for the span of one
+        #: ``schedule()`` call.
+        self._warm_orders: "dict[int, tuple] | None" = None
+        self._warm_reuses = 0
+        #: Per-call group-estimate memo: warm-started prefixes share
+        #: most group compositions (~90% repeat rate on churn streams),
+        #: and :meth:`~repro.core.perfmodel.PerfModel.estimate_group`
+        #: is pure, so a repeated group returns the identical estimate
+        #: object.  Keyed by member identity — only valid while the
+        #: current call's job snapshots are pinned, so
+        #: :meth:`build_plan` consults it only inside ``schedule()``.
+        #: None disables it (the reference path).
+        self._estimate_memo: "dict | None" = {}
 
     # -- Algorithm 1 ---------------------------------------------------------
 
@@ -156,33 +283,63 @@ class HarmonyScheduler:
         if not jobs:
             return None
         ordered = self._admission_order(jobs)
+        view = MetricsView(ordered)
+        cache = self.plan_cache
+        fingerprints = _prefix_fingerprints(ordered) \
+            if cache is not None else None
         best: Optional[SchedulePlan] = None
         no_improvement = 0
         n_prefixes = 0
-        for n_jobs in _prefix_sizes(len(ordered)):
-            candidate_jobs = ordered[:n_jobs]
-            n_prefixes += 1
-            plan = self._plan_for(candidate_jobs, total_machines)
-            if plan is None:
-                if best is not None:
-                    break  # adding jobs stopped being feasible
-                continue
-            if best is None or plan.score > best.score:
-                best = plan
-                no_improvement = 0
-            else:
-                # L12-13: stop growing once utilization stops improving
-                # (with a small patience for discrete n_G* bumps).
-                no_improvement += 1
-                if no_improvement > self.config.schedule_patience:
-                    break
+        cache_hits = 0
+        cache_misses = 0
+        self._warm_orders = {}
+        self._warm_reuses = 0
+        if self._estimate_memo is not None:
+            self._estimate_memo.clear()
+        try:
+            for n_jobs in _prefix_sizes(len(ordered)):
+                prefix = view.prefix(n_jobs)
+                n_prefixes += 1
+                plan = _CACHE_MISS
+                if cache is not None:
+                    key = (fingerprints[n_jobs - 1], n_jobs,
+                           total_machines)
+                    plan = cache.get(key, prefix.jobs)
+                if plan is _CACHE_MISS:
+                    cache_misses += 1
+                    plan = self._plan_for(prefix, total_machines)
+                    if cache is not None:
+                        cache.put(key, prefix.jobs, plan)
+                else:
+                    cache_hits += 1
+                if plan is None:
+                    if best is not None:
+                        break  # adding jobs stopped being feasible
+                    continue
+                if best is None or plan.score > best.score:
+                    best = plan
+                    no_improvement = 0
+                else:
+                    # L12-13: stop growing once utilization stops
+                    # improving (with a small patience for discrete
+                    # n_G* bumps).
+                    no_improvement += 1
+                    if no_improvement > self.config.schedule_patience:
+                        break
+        finally:
+            warm_reuses = self._warm_reuses
+            self._warm_orders = None
         self.last_stats = ScheduleStats(
             n_jobs_offered=len(ordered),
             n_prefixes_evaluated=n_prefixes,
             best_n_groups=len(best.groups) if best is not None else 0,
             best_n_jobs=(len(best.scheduled_job_ids)
                          if best is not None else 0),
-            best_score=best.score if best is not None else 0.0)
+            best_score=best.score if best is not None else 0.0,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            warm_start_reuses=warm_reuses,
+            fast_path=cache_hits > 0 or warm_reuses > 0)
         return best
 
     def _admission_order(self, jobs: Sequence[JobMetrics]) -> \
@@ -192,8 +349,11 @@ class HarmonyScheduler:
         The paper does not pin J_to_sched's order; see
         ``SchedulerConfig.admission_order`` for the choices.
         """
-        ascending = sorted(jobs,
-                           key=lambda j: j.t_iteration_at(_ORDERING_DOP))
+        view = jobs if isinstance(jobs, MetricsView) else MetricsView(jobs)
+        keys = view.t_iteration_at(_ORDERING_DOP)
+        # Stable C-speed argsort == sorted(key=t_iteration) bit for bit.
+        ascending = [view.jobs[index]
+                     for index in np.argsort(keys, kind="stable")]
         order = self.config.admission_order
         if order == "sjf":
             return ascending
@@ -222,25 +382,73 @@ class HarmonyScheduler:
             return list(reversed(critical)) + rest
         raise SchedulingError(f"unknown admission order {order!r}")
 
-    def _plan_for(self, jobs: Sequence[JobMetrics],
+    def _plan_for(self, jobs: "Sequence[JobMetrics] | MetricsView",
                   total_machines: int) -> Optional[SchedulePlan]:
         """One iteration of the L4-L13 loop body for a fixed job set."""
-        n_groups = self._pick_group_count(jobs, total_machines)
-        groups = assign_jobs(jobs, n_groups,
-                             m_ref=max(1, total_machines // n_groups),
-                             max_swap_passes=self.config.max_swap_passes)
+        view = jobs if isinstance(jobs, MetricsView) else MetricsView(jobs)
+        n_groups = self._pick_group_count(view, total_machines)
+        m_ref = max(1, total_machines // n_groups)
+        order = self._grouping_order_for(view, m_ref)
+        groups = assign_jobs(view, n_groups, m_ref=m_ref,
+                             max_swap_passes=self.config.max_swap_passes,
+                             order=order)
         allocation = allocate_machines(groups, total_machines,
                                        self.memory_floor)
         if allocation is None:
             return None
         return self.build_plan(groups, allocation, total_machines)
 
+    def _grouping_order_for(self, view: MetricsView,
+                            m_ref: int) -> np.ndarray:
+        """Sorted grouping order for ``view``, warm-started when an
+        earlier prefix of the same ``schedule()`` call already sorted a
+        shorter prefix at the same ``m_ref`` (prefixes are nested, so
+        the old order is a valid partial order of the new one)."""
+        warm = self._warm_orders
+        if warm is None:
+            return grouping_order(view, m_ref)
+        held = warm.get(m_ref)
+        if held is not None and held[1] <= len(view):
+            prev_order, prev_n = held
+            if prev_n == len(view):
+                order = prev_order
+            else:
+                order = extend_grouping_order(view, m_ref, prev_order,
+                                              prev_n)
+            self._warm_reuses += 1
+        else:
+            order = grouping_order(view, m_ref)
+        warm[m_ref] = (order, len(view))
+        return order
+
     def build_plan(self, groups: Sequence[Sequence[JobMetrics]],
                    allocation: Sequence[int],
                    total_machines: int) -> SchedulePlan:
-        """Assemble and score a plan from explicit groups/allocation."""
-        estimates = [self.perf_model.estimate_group(group, m)
-                     for group, m in zip(groups, allocation)]
+        """Assemble and score a plan from explicit groups/allocation.
+
+        Intentionally *not* vectorized: plan scores decide ties between
+        prefixes (exact ties are real — saturated utilization is exactly
+        1.0), so the fast path and the reference path must share this
+        exact floating-point arithmetic.  Repeated group compositions
+        within one ``schedule()`` call are served from the estimate
+        memo — the same pure function on the same pinned snapshots, so
+        the memo cannot change a single bit of the result.
+        """
+        memo = self._estimate_memo if self._warm_orders is not None \
+            else None
+        if memo is None:
+            estimates = [self.perf_model.estimate_group(group, m)
+                         for group, m in zip(groups, allocation)]
+        else:
+            estimate_group = self.perf_model.estimate_group
+            estimates = []
+            for group, m in zip(groups, allocation):
+                key = (m, *map(id, group))
+                cached = memo.get(key)
+                if cached is None:
+                    cached = estimate_group(group, m)
+                    memo[key] = cached
+                estimates.append(cached)
         utilization = self.perf_model.cluster_utilization(
             estimates, total_machines=total_machines)
         plans = tuple(GroupPlan(job_ids=e.job_ids, n_machines=m, estimate=e)
@@ -251,23 +459,27 @@ class HarmonyScheduler:
 
     # -- L6: the group-count search ---------------------------------------------
 
-    def _pick_group_count(self, jobs: Sequence[JobMetrics],
+    def _pick_group_count(self,
+                          jobs: "Sequence[JobMetrics] | MetricsView",
                           total_machines: int) -> int:
         """n_G* = argmin_nG Σ_j |T_cpu_j(n_G) − T_net_j|  (L6).
 
         Under the equal-DoP assumption ``m_g = M / n_G``, so
         ``T_cpu_j(n_G) = W_j · n_G / M``.
         """
+        view = jobs if isinstance(jobs, MetricsView) else MetricsView(jobs)
         min_groups = max(
-            1, -(-len(jobs) // self.config.max_jobs_per_group))
-        max_groups = min(len(jobs), total_machines)
+            1, -(-len(view) // self.config.max_jobs_per_group))
+        max_groups = min(len(view), total_machines)
         if min_groups > max_groups:
             min_groups = max_groups
 
+        cpu_work = view.cpu_work
+        t_net = view.t_net
+
         def cost(n_g: int) -> float:
-            scale = n_g / total_machines
-            return sum(abs(job.cpu_work * scale - job.t_net)
-                       for job in jobs)
+            return float(
+                np.abs(cpu_work * (n_g / total_machines) - t_net).sum())
 
         # cost(n_g) = Σ|W_j · n_g / M − T_net_j| is convex in n_g, so a
         # ternary search finds the minimum in O(log M) evaluations —
@@ -275,3 +487,19 @@ class HarmonyScheduler:
         # Flat bottom segments are common (the absolute values cancel
         # over whole intervals), hence the plateau-safe variant.
         return argmin_convex(cost, min_groups, max_groups)
+
+
+def _prefix_fingerprints(ordered: Sequence[JobMetrics]) -> list:
+    """Chain hash over (job_id, cpu_work, t_net) per prefix.
+
+    ``fingerprints[k-1]`` summarizes the first ``k`` jobs in admission
+    order, so all prefix keys of a call cost one O(n) sweep.  The cache
+    compares the stored metrics tuple on every hit, so a hash collision
+    costs a recompute, never a wrong plan.
+    """
+    fingerprints = []
+    value = 0
+    for job in ordered:
+        value = hash((value, job.job_id, job.cpu_work, job.t_net))
+        fingerprints.append(value)
+    return fingerprints
