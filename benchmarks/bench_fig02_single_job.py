@@ -7,7 +7,7 @@ def test_fig02_single_job_utilization(once):
     result = once(fig02_single_job.run)
     print()
     print(fig02_single_job.report(result))
-    for label, cpu, net in result.rows:
+    for _label, cpu, net in result.rows:
         # The paper's point: a lone PS job never saturates both sides.
         assert cpu < 95.0 or net < 95.0
         assert cpu + net > 60.0  # but it is doing real work

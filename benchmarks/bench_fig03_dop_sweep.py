@@ -15,8 +15,9 @@ def test_fig03_dop_sweep(once):
     net = [row.net_utilization for row in rows]
     assert net == sorted(net)
     # COMP halves with each doubling (Eq. 2); COMM stays flat (Fig. 3b).
-    for previous, current in zip(rows, rows[1:]):
+    for previous, current in zip(rows, rows[1:], strict=False):
         assert current.t_comp < previous.t_comp
+        # harmony: allow[DET006] pull time is DOP-invariant by construction; exact assert intended
         assert current.t_pull == previous.t_pull
     # Iteration time improves with diminishing returns.
     assert rows[-1].iteration_seconds < rows[0].iteration_seconds

@@ -17,6 +17,7 @@ See README.md for a tour and ``python -m repro --list`` for the
 experiment drivers.
 """
 
+from repro.baselines import IsolatedRuntime, NaiveRuntime, OracleScheduler
 from repro.config import MachineSpec, SchedulerConfig, SimConfig
 from repro.core import (
     HarmonyRuntime,
@@ -27,7 +28,6 @@ from repro.core import (
     RunResult,
 )
 from repro.core.local_runtime import LocalHarmonyRuntime, LocalJob
-from repro.baselines import IsolatedRuntime, NaiveRuntime, OracleScheduler
 from repro.workloads import (
     CostModel,
     JobSpec,

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig10_main --scale 0.25 --seed 7
     python -m repro all --scale 0.25
     python -m repro check --seed 7      # correctness harness (repro.check)
+    python -m repro lint                # harmonylint (repro.analysis)
 """
 
 from __future__ import annotations
@@ -50,23 +51,43 @@ def _run_driver(name: str, scale: float | None, seed: int | None) -> None:
         kwargs["scale"] = scale
     if seed is not None and "seed" in signature.parameters:
         kwargs["seed"] = seed
+    # harmony: allow[DET001] real elapsed-time report for the CLI footer
     started = time.perf_counter()
     result = module.run(**kwargs)
+    # harmony: allow[DET001] real elapsed-time report for the CLI footer
     elapsed = time.perf_counter() - started
     print(module.report(result))
     print(f"[{name} completed in {elapsed:.1f}s]")
 
 
+#: Subcommands with their own option sets, dispatched before argparse.
+SUBCOMMANDS = {
+    "check": ("repro.check.cli",
+              "seeded invariant checker / differential harness "
+              "(repro.check)"),
+    "lint": ("repro.analysis.cli",
+             "harmonylint determinism & simulation-safety static "
+             "analyzer (repro.analysis)"),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if argv and argv[0] == "check":
-        # The correctness harness has its own option set (seeds,
-        # differential suites); see repro.check.cli.
-        from repro.check.cli import main as check_main
-        return check_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        import importlib
+        module_name, _ = SUBCOMMANDS[argv[0]]
+        submain = importlib.import_module(module_name).main
+        return submain(argv[1:])
+    epilog = "subcommands:\n" + "\n".join(
+        f"  {name:8s} {summary}"
+        for name, (_, summary) in SUBCOMMANDS.items()) + (
+        "\n  <experiment>  any experiment name below; "
+        "see --list for the full set")
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run the Harmony reproduction's experiments.")
+        description="Run the Harmony reproduction's experiments.",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("driver", nargs="?",
                         help="experiment name, or 'all'")
     parser.add_argument("--list", action="store_true",
@@ -83,8 +104,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, module in DRIVERS.items():
             summary = (module.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:26s} {summary}")
-        print(f"  {'check':26s} seeded invariant checker / "
-              "differential harness (repro.check)")
+        for name, (_, summary) in SUBCOMMANDS.items():
+            print(f"  {name:26s} {summary}")
         return 0
 
     if args.driver == "all":

@@ -1,0 +1,40 @@
+"""harmonylint: determinism & simulation-safety static analysis.
+
+An AST-based, rule-driven analyzer (``python -m repro lint``) with
+four domain rule families generic linters cannot express:
+
+- **DET** determinism: wall clocks, global RNG, set-order escapes,
+  identity-keyed sorts, float equality on times/scores;
+- **SIM** simulation safety: blocking calls in sim processes, frozen
+  config mutation, event-loop re-entry;
+- **TRC** trace hygiene: span begin/end balance, metric and span
+  names pinned to the declared registry;
+- **CACHE** PlanCache fingerprint coverage of scoring inputs.
+
+Suppress one line with ``# harmony: allow[RULE-ID] reason``; adopt
+pre-existing findings with the expiring baseline file
+(``lint-baseline.json``, ``--write-baseline``).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import (
+    AnalysisConfig,
+    Analyzer,
+    collect_sources,
+)
+from repro.analysis.findings import AnalysisReport, Finding, Rule
+from repro.analysis.visitors import BaseRule, FileContext, REGISTRY
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "BaseRule",
+    "FileContext",
+    "Finding",
+    "REGISTRY",
+    "Rule",
+    "collect_sources",
+]

@@ -1,0 +1,165 @@
+"""CACHE — PlanCache fingerprint-coverage rules.
+
+The scheduling fast path memoizes whole prefix plans keyed by a chain
+hash over per-job metrics (``_prefix_fingerprints``) and guards hits
+with an equality check on the stored metrics tuple.  The bug class
+this enables: someone adds a new :class:`JobMetrics` field (or starts
+reading an existing one) in scoring code without adding it to the
+fingerprint — cached plans then survive changes of an input that
+should invalidate them.
+
+CACHE001 closes the loop statically, across files:
+
+1. parse the ``JobMetrics`` dataclass (``core/profiler.py``) for its
+   fields, and resolve each derived method (``t_cpu_at``, ...) to the
+   transitive set of fields it reads;
+2. parse ``_prefix_fingerprints`` (``core/scheduler.py``) for the
+   ``job.<field>`` attributes that feed the chain hash;
+3. scan the scoring modules (scheduler/grouping/perfmodel/allocation)
+   for reads of any JobMetrics field or derived method, and flag reads
+   whose underlying fields are absent from the fingerprint.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.visitors import BaseRule, FileContext, register
+
+#: Files whose attribute reads count as "scoring" (relpath suffixes).
+SCORING_SUFFIXES = ("core/scheduler.py", "core/grouping.py",
+                    "core/perfmodel.py", "core/allocation.py")
+
+METRICS_CLASS = "JobMetrics"
+FINGERPRINT_FUNCTION = "_prefix_fingerprints"
+
+#: JobMetrics attributes that identify rather than measure; reading
+#: them in scoring never stales a cached plan beyond the id itself.
+_IDENTITY_FIELDS = {"job_id"}
+
+
+def _normalized(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+class _MetricsModel:
+    """Fields and derived-method field-closures of JobMetrics."""
+
+    def __init__(self, class_node: ast.ClassDef):
+        self.fields: set[str] = set()
+        direct: dict[str, set[str]] = {}
+        calls: dict[str, set[str]] = {}
+        for node in class_node.body:
+            if isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                self.fields.add(node.target.id)
+            elif isinstance(node, ast.FunctionDef):
+                reads: set[str] = set()
+                called: set[str] = set()
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Attribute) and \
+                            isinstance(child.value, ast.Name) and \
+                            child.value.id == "self":
+                        if isinstance(child.ctx, ast.Load):
+                            reads.add(child.attr)
+                    if isinstance(child, ast.Call) and \
+                            isinstance(child.func, ast.Attribute) and \
+                            isinstance(child.func.value, ast.Name) and \
+                            child.func.value.id == "self":
+                        called.add(child.func.attr)
+                direct[node.name] = reads
+                calls[node.name] = called
+        #: method -> transitive set of *fields* it depends on.
+        self.derived: dict[str, set[str]] = {}
+        for method in direct:
+            seen: set[str] = set()
+            stack = [method]
+            fields: set[str] = set()
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                fields |= direct.get(current, set()) & self.fields
+                stack.extend(calls.get(current, set()))
+            self.derived[method] = fields
+
+    def reads_of(self, attribute: str) -> set[str] | None:
+        """Fields behind reading ``attribute``; None if not a metric."""
+        if attribute in self.fields:
+            return {attribute}
+        if attribute in self.derived:
+            return self.derived[attribute]
+        return None
+
+
+def _fingerprint_fields(function: ast.AST,
+                        model: _MetricsModel) -> set[str]:
+    """JobMetrics fields fed into the chain hash."""
+    fields: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Attribute):
+            behind = model.reads_of(node.attr)
+            if behind is not None:
+                fields |= behind
+            fields |= {node.attr} & _IDENTITY_FIELDS
+    return fields
+
+
+@register
+class FingerprintCoverageRule(BaseRule):
+    rule = Rule("CACHE001",
+                "scoring code reads a JobMetrics field absent from "
+                "the PlanCache fingerprint computation")
+    project_level = True
+
+    def check_project(self,
+                      contexts: list[FileContext]) -> Iterable[Finding]:
+        model = self._metrics_model(contexts)
+        if model is None:
+            return
+        fingerprint_ctx, fingerprint_fn = \
+            self._fingerprint_function(contexts)
+        if fingerprint_fn is None:
+            return
+        covered = _fingerprint_fields(fingerprint_fn, model) \
+            | _IDENTITY_FIELDS
+        for ctx in contexts:
+            if not _normalized(ctx.path).endswith(SCORING_SUFFIXES):
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Attribute) or \
+                        not isinstance(node.ctx, ast.Load):
+                    continue
+                behind = model.reads_of(node.attr)
+                if behind is None:
+                    continue
+                missing = behind - covered
+                if missing:
+                    yield ctx.finding(
+                        self.rule, node,
+                        f"read of JobMetrics.{node.attr} depends on "
+                        f"{sorted(missing)} which "
+                        f"{FINGERPRINT_FUNCTION} does not hash — "
+                        f"cached plans would survive changes to it")
+
+    @staticmethod
+    def _metrics_model(
+            contexts: list[FileContext]) -> "_MetricsModel | None":
+        for ctx in contexts:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and \
+                        node.name == METRICS_CLASS:
+                    return _MetricsModel(node)
+        return None
+
+    @staticmethod
+    def _fingerprint_function(contexts: list[FileContext]):
+        for ctx in contexts:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.FunctionDef) and \
+                        node.name == FINGERPRINT_FUNCTION:
+                    return ctx, node
+        return None, None

@@ -1,0 +1,184 @@
+"""SIM — simulation-safety rules.
+
+The discrete-event simulator owns time: a simulated process that
+blocks the real thread stalls every job in the run, a mutated frozen
+config invalidates every cached plan derived from it, and re-entering
+the event loop from a callback corrupts the event order.  A module is
+*sim-driven* when it imports from :mod:`repro.sim`; the thread-based
+local runtimes (``core/local_runtime.py``, ``repro.ml``) do not, and
+legitimately sleep and read wall clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.visitors import (
+    BaseRule,
+    FileContext,
+    functions_of,
+    is_generator,
+    register,
+)
+
+_BLOCKING_CALLS = {
+    "time.sleep": "blocks the real thread under virtual time",
+    "input": "blocks on stdin",
+    "os.system": "blocking subprocess",
+    "subprocess.run": "blocking subprocess",
+    "subprocess.call": "blocking subprocess",
+    "subprocess.check_call": "blocking subprocess",
+    "subprocess.check_output": "blocking subprocess",
+    "socket.socket": "real network I/O",
+    "urllib.request.urlopen": "real network I/O",
+}
+
+#: ``open()`` is additionally blocking *inside a simulated process*;
+#: at driver level (experiment result files) it is fine.
+_GENERATOR_ONLY_BLOCKING = {"open": "file I/O inside a sim process"}
+
+_CONFIG_NAME_RE = re.compile(r"(^|_)(config|cfg)$")
+
+#: Names a simulator object goes by at call sites.
+_SIM_RECEIVERS = {"sim", "simulator", "_sim", "_simulator"}
+
+#: Callback-ish contexts: functions with these name shapes run from
+#: inside the event loop.
+_CALLBACK_NAME_RE = re.compile(r"^(_?on_|_?handle_|_?callback)")
+
+
+def _imports_sim(ctx: FileContext) -> bool:
+    return any(target.startswith("repro.sim")
+               for target in ctx.imports.aliases.values())
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class BlockingInSimRule(BaseRule):
+    rule = Rule("SIM001",
+                "blocking call in sim-driven code (real sleep/I-O "
+                "under virtual time)")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _imports_sim(ctx):
+            return
+        generator_ranges = [
+            (fn.lineno, max(getattr(fn, "end_lineno", fn.lineno),
+                            fn.lineno))
+            for fn in functions_of(ctx.tree) if is_generator(fn)]
+
+        def inside_generator(line: int) -> bool:
+            return any(low <= line <= high
+                       for low, high in generator_ranges)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.qualify(node.func)
+            if qualified in _BLOCKING_CALLS:
+                yield ctx.finding(
+                    self.rule, node,
+                    f"{qualified}() {_BLOCKING_CALLS[qualified]}; "
+                    f"yield sim.timeout(...) instead")
+            elif qualified in _GENERATOR_ONLY_BLOCKING and \
+                    inside_generator(node.lineno):
+                yield ctx.finding(
+                    self.rule, node,
+                    f"{qualified}() "
+                    f"{_GENERATOR_ONLY_BLOCKING[qualified]}")
+
+
+@register
+class FrozenConfigMutationRule(BaseRule):
+    rule = Rule("SIM002",
+                "mutation of a (frozen) config object after "
+                "construction — use dataclasses.replace / with_*()")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        config_classes = {
+            node.name for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+            and node.name.endswith("Config")}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if self._is_config_attribute(target):
+                        yield ctx.finding(
+                            self.rule, node,
+                            "attribute assignment on a config object")
+            elif isinstance(node, ast.Call):
+                yield from self._check_setattr(ctx, node, config_classes)
+
+    def _check_setattr(self, ctx: FileContext, node: ast.Call,
+                       config_classes: set[str]) -> Iterable[Finding]:
+        qualified = ctx.imports.qualify(node.func)
+        if qualified not in {"setattr", "object.__setattr__"}:
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        # ``object.__setattr__(self, ...)`` inside a *Config class's
+        # own __post_init__ is the frozen-dataclass idiom; only flag
+        # reaching into someone else's config.
+        if isinstance(first, ast.Name) and first.id == "self":
+            return
+        name = _receiver_name(first)
+        if name and (_CONFIG_NAME_RE.search(name)
+                     or name in config_classes):
+            yield ctx.finding(
+                self.rule, node,
+                f"{qualified}() on a config object bypasses frozen "
+                f"dataclass protection")
+
+    @staticmethod
+    def _is_config_attribute(target: ast.expr) -> bool:
+        """True for ``config.x = ...`` / ``self.config.x = ...`` but
+        not for ``self.config = ...`` (construction)."""
+        if not isinstance(target, ast.Attribute):
+            return False
+        base = target.value
+        name = _receiver_name(base)
+        return bool(name and _CONFIG_NAME_RE.search(name))
+
+
+@register
+class SimReentryRule(BaseRule):
+    rule = Rule("SIM003",
+                "event callback re-enters the simulator "
+                "(sim.run()/sim.step() from inside the event loop)")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _imports_sim(ctx):
+            return
+        for function in functions_of(ctx.tree):
+            name = getattr(function, "name", "")
+            reentrant_context = is_generator(function) or \
+                bool(_CALLBACK_NAME_RE.match(name))
+            if not reentrant_context:
+                continue
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute) or \
+                        func.attr not in {"run", "step"}:
+                    continue
+                receiver = _receiver_name(func.value)
+                if receiver in _SIM_RECEIVERS:
+                    yield ctx.finding(
+                        self.rule, node,
+                        f"{receiver}.{func.attr}() from inside "
+                        f"{name or 'a sim process'}(); schedule a "
+                        f"callback or yield an event instead")

@@ -1,0 +1,176 @@
+"""Visitor framework for harmonylint rules.
+
+Rules are small classes registered with :func:`register`; the engine
+instantiates each once per run and hands it :class:`FileContext`
+objects (per-file rules) or the whole list at once (project rules, for
+cross-file properties like fingerprint coverage).
+
+The framework's main service is *qualified-name resolution*: rules ask
+"is this call ``time.perf_counter``?" and get the right answer whether
+the module wrote ``import time``, ``import time as _time``, or
+``from time import perf_counter as pc``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Rule
+
+#: ``# harmony: allow[DET001]`` or ``allow[DET001,SIM002] free-text why``.
+_ALLOW_RE = re.compile(
+    r"#\s*harmony:\s*allow\[([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)\]")
+
+
+def parse_suppressions(source_lines: list[str]) -> dict[int, set[str]]:
+    """Map of 1-based line number -> rule ids allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for number, line in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",")}
+            allowed.setdefault(number, set()).update(ids)
+    return allowed
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus everything rules need around it."""
+
+    path: str            # as reported in findings (repo-relative)
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    imports: "ImportMap | None" = None
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        return cls(path=path, source=source, tree=tree, lines=lines,
+                   suppressions=parse_suppressions(lines),
+                   imports=ImportMap.of(tree))
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: Rule, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(rule_id=rule.rule_id, path=self.path, line=line,
+                       message=message, snippet=self.snippet(line))
+
+    def in_dir(self, *parts: str) -> bool:
+        """True when any path component equals one of ``parts``."""
+        components = re.split(r"[\\/]", self.path)
+        return any(part in components for part in parts)
+
+
+class ImportMap:
+    """Alias -> dotted-module resolution for one module."""
+
+    def __init__(self) -> None:
+        #: local name -> fully qualified dotted name it stands for.
+        self.aliases: dict[str, str] = {}
+
+    @classmethod
+    def of(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    imports.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    imports.aliases[local] = \
+                        f"{node.module}.{alias.name}"
+        return imports
+
+    def qualify(self, node: ast.expr) -> str | None:
+        """Dotted name of ``node`` with import aliases resolved.
+
+        ``pc()`` where ``from time import perf_counter as pc`` resolves
+        to ``time.perf_counter``; ``np.random.rand`` resolves to
+        ``numpy.random.rand``.  Returns None for non-name expressions.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(self.aliases.get(current.id, current.id))
+        return ".".join(reversed(parts))
+
+
+class BaseRule:
+    """A harmonylint rule: subclass, set :attr:`rule`, implement
+    :meth:`check` (per-file) or :meth:`check_project` (cross-file)."""
+
+    rule: Rule
+    #: Project rules see every file at once (cross-file properties).
+    project_level = False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self,
+                      contexts: list[FileContext]) -> Iterable[Finding]:
+        return ()
+
+
+#: rule_id -> rule class; populated by :func:`register` at import time.
+REGISTRY: dict[str, type[BaseRule]] = {}
+
+
+def register(rule_class: type[BaseRule]) -> type[BaseRule]:
+    rule_id = rule_class.rule.rule_id
+    if rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def functions_of(tree: ast.Module) -> list[ast.AST]:
+    """Every function/method definition in the module, outermost first."""
+    return [node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def is_generator(function: ast.AST) -> bool:
+    """True when ``function`` contains a yield of its own (i.e. it is a
+    simulated process / coroutine, not a plain function)."""
+    for node in ast.walk(function):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            owner = _enclosing_function(node, function)
+            if owner is function:
+                return True
+    return False
+
+
+def _enclosing_function(target: ast.AST, root: ast.AST) -> ast.AST | None:
+    """The innermost function of ``root`` containing ``target``."""
+    owner = None
+    stack = [(root, root)]
+    while stack:
+        node, current = stack.pop()
+        if node is target:
+            return current
+        for child in ast.iter_child_nodes(node):
+            next_fn = child if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                        ast.Lambda)) else current
+            stack.append((child, next_fn))
+    return owner

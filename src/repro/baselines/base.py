@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 import time as _time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.config import DEFAULT_SIM_CONFIG, SimConfig
@@ -36,7 +36,7 @@ class BaselineMaster:
                  cost_model: CostModel, config: SimConfig,
                  streams: RandomStreams, recorder: ClusterUsageRecorder,
                  mode: ExecutionMode, group_size: int = 1,
-                 shuffle_seed: Optional[int] = None,
+                 shuffle_seed: int | None = None,
                  dop_scale: float = 1.0,
                  backfill: bool = True,
                  colocate_only_if_fits: bool = False):
@@ -229,11 +229,11 @@ class BaselineRuntime:
                  mode: ExecutionMode, name: str,
                  config: SimConfig = DEFAULT_SIM_CONFIG,
                  group_size: int = 1,
-                 shuffle_seed: Optional[int] = None,
+                 shuffle_seed: int | None = None,
                  dop_scale: float = 1.0,
                  backfill: bool = True,
                  colocate_only_if_fits: bool = False,
-                 cost_model: Optional[CostModel] = None):
+                 cost_model: CostModel | None = None):
         self.config = config
         self.sim = Simulator()
         self.cluster = Cluster(n_machines, config.machine)
@@ -254,7 +254,8 @@ class BaselineRuntime:
         self.workload = list(workload)
         self.name = name
 
-    def run(self, max_sim_seconds: Optional[float] = None) -> RunResult:
+    def run(self, max_sim_seconds: float | None = None) -> RunResult:
+        # harmony: allow[DET001] wall_seconds measures real runtime, never simulation state
         wall_start = _time.perf_counter()
         for spec in self.workload:
             self.sim.call_at(spec.submit_time,
@@ -283,4 +284,5 @@ class BaselineRuntime:
             recorder=self.recorder,
             _all_cycles=all_cycles,
             alpha_samples=[],
+            # harmony: allow[DET001] wall_seconds measures real runtime, never simulation state
             wall_seconds=_time.perf_counter() - wall_start)

@@ -13,7 +13,7 @@ classic sequential PULL -> COMP -> PUSH iteration and no data spilling.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.baselines.base import BaselineRuntime
 from repro.config import DEFAULT_SIM_CONFIG, SimConfig
@@ -34,7 +34,7 @@ class IsolatedRuntime(BaselineRuntime):
     def __init__(self, n_machines: int, workload: Sequence[JobSpec],
                  config: SimConfig = DEFAULT_SIM_CONFIG,
                  dop_scale: float = DOP_SCALE,
-                 cost_model: Optional[CostModel] = None):
+                 cost_model: CostModel | None = None):
         super().__init__(n_machines, workload,
                          mode=ExecutionMode.ISOLATED,
                          name="isolated",

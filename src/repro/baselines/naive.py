@@ -16,7 +16,7 @@ failure, exactly the Fig. 4 behaviour.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -34,9 +34,9 @@ class NaiveRuntime(BaselineRuntime):
     def __init__(self, n_machines: int, workload: Sequence[JobSpec],
                  config: SimConfig = DEFAULT_SIM_CONFIG,
                  group_size: int = 2,
-                 shuffle_seed: Optional[int] = 0,
+                 shuffle_seed: int | None = 0,
                  dop_scale: float = 0.4,
-                 cost_model: Optional[CostModel] = None):
+                 cost_model: CostModel | None = None):
         super().__init__(n_machines, workload,
                          mode=ExecutionMode.NAIVE,
                          name="naive",

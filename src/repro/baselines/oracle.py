@@ -15,7 +15,7 @@ intractable, mirroring Fig. 14's scaled-down comparison.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.config import SchedulerConfig
 from repro.core.allocation import MemoryFloorFn, allocate_machines
@@ -29,7 +29,7 @@ MAX_ORACLE_JOBS = 10
 
 
 def set_partitions(items: Sequence,
-                   max_group_size: Optional[int] = None) -> Iterator[list]:
+                   max_group_size: int | None = None) -> Iterator[list]:
     """All partitions of ``items`` into non-empty groups.
 
     Canonical recursive enumeration: each new item either joins an
@@ -63,9 +63,9 @@ class OracleScheduler:
     """Drop-in replacement for :class:`HarmonyScheduler` that searches
     the whole partition space."""
 
-    def __init__(self, perf_model: Optional[PerfModel] = None,
-                 config: Optional[SchedulerConfig] = None,
-                 memory_floor: Optional[MemoryFloorFn] = None,
+    def __init__(self, perf_model: PerfModel | None = None,
+                 config: SchedulerConfig | None = None,
+                 memory_floor: MemoryFloorFn | None = None,
                  max_jobs: int = MAX_ORACLE_JOBS):
         self.config = config if config is not None else SchedulerConfig()
         self.perf_model = perf_model if perf_model is not None \
@@ -80,7 +80,7 @@ class OracleScheduler:
                                          memory_floor=memory_floor)
 
     def schedule(self, jobs: Sequence[JobMetrics],
-                 total_machines: int) -> Optional[SchedulePlan]:
+                 total_machines: int) -> SchedulePlan | None:
         """Ground-truth schedule by exhaustive partition search.
 
         Like Algorithm 1, jobs may be left out: subsets are covered
@@ -97,7 +97,7 @@ class OracleScheduler:
         if not jobs:
             return None
         self.last_search_size = 0
-        best: Optional[SchedulePlan] = None
+        best: SchedulePlan | None = None
         ordered = sorted(jobs, key=lambda j: j.t_iteration_at(16))
         for n_jobs in range(1, len(ordered) + 1):
             candidate = ordered[:n_jobs]

@@ -191,7 +191,7 @@ class InvariantChecker:
         rolled_back = master.rolled_back_iterations
         for job_id, cycles in cycles_by_job.items():
             cycles.sort(key=lambda c: c.finished_at)
-            for prev, cur in zip(cycles, cycles[1:]):
+            for prev, cur in zip(cycles, cycles[1:], strict=False):
                 if cur.finished_at - cur.duration < \
                         prev.finished_at - tol:
                     out.append(Violation(
@@ -293,7 +293,7 @@ class InvariantChecker:
 
         for (pid, tid), spans in by_track.items():
             spans.sort(key=lambda s: (s.start, s.end))
-            for prev, cur in zip(spans, spans[1:]):
+            for prev, cur in zip(spans, spans[1:], strict=False):
                 if cur.start < prev.end - tol:
                     process = tracer.process_names.get(pid, str(pid))
                     thread = tracer.thread_names.get((pid, tid),

@@ -14,15 +14,14 @@ line::
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
+from repro.check.invariants import InvariantChecker, Violation
 from repro.config import (
     ExecutionConfig,
     MemoryConfig,
     SchedulerConfig,
     SimConfig,
 )
-from repro.check.invariants import InvariantChecker, Violation
 from repro.core.job import JobState
 from repro.errors import ReproError
 from repro.faults.plan import FaultPlan
@@ -44,7 +43,7 @@ class Scenario:
     n_machines: int
     specs: tuple[JobSpec, ...]
     config: SimConfig
-    fault_plan: Optional[FaultPlan]
+    fault_plan: FaultPlan | None
 
     def describe(self) -> str:
         fault = (f"{len(self.fault_plan)} fault(s)"
@@ -68,7 +67,7 @@ class CheckedRun:
 
     scenario: Scenario
     violations: list[Violation]
-    error: Optional[str] = None
+    error: str | None = None
     finished_jobs: int = 0
     sim_seconds: float = 0.0
 
@@ -149,7 +148,7 @@ class ScenarioGenerator:
 
 
 def run_checked(scenario: Scenario,
-                checker: Optional[InvariantChecker] = None) -> CheckedRun:
+                checker: InvariantChecker | None = None) -> CheckedRun:
     """Execute a scenario end to end with all invariants enforced."""
     from repro.core.runtime import HarmonyRuntime
 
@@ -157,7 +156,7 @@ def run_checked(scenario: Scenario,
     runtime = HarmonyRuntime(scenario.n_machines, scenario.specs,
                              config=scenario.config,
                              fault_plan=scenario.fault_plan)
-    error: Optional[str] = None
+    error: str | None = None
     try:
         runtime.run(max_sim_seconds=MAX_SCENARIO_SECONDS)
     except ReproError as exc:

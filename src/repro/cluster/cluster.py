@@ -8,7 +8,7 @@ detected immediately rather than corrupting an experiment silently.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.cluster.machine import Machine
 from repro.config import MachineSpec

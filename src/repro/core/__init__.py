@@ -6,10 +6,10 @@ master/runtime that ties them together (§III).
 """
 
 from repro.core.job import Job, JobState
-from repro.core.perfmodel import PerfModel, GroupEstimate, UtilizationVector
+from repro.core.perfmodel import GroupEstimate, PerfModel, UtilizationVector
 from repro.core.profiler import JobMetrics, Profiler
-from repro.core.scheduler import HarmonyScheduler, SchedulePlan, GroupPlan
 from repro.core.runtime import HarmonyRuntime, JobOutcome, RunResult
+from repro.core.scheduler import GroupPlan, HarmonyScheduler, SchedulePlan
 from repro.core.subtask import SubTask, SubTaskKind
 
 __all__ = [

@@ -30,7 +30,7 @@ differential suite) in a handful of vectorized passes.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -47,8 +47,8 @@ _MAX_CANDIDATES = 4_000_000
 
 def allocate_machines(groups: Sequence[Sequence[JobMetrics]],
                       total_machines: int,
-                      memory_floor: Optional[MemoryFloorFn] = None) -> \
-        Optional[list[int]]:
+                      memory_floor: MemoryFloorFn | None = None) -> \
+        list[int] | None:
     """Machine counts per group, or None when memory-infeasible.
 
     Always hands a machine to the group whose CPU-side bottleneck

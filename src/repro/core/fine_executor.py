@@ -14,8 +14,8 @@ modelling claim DESIGN.md makes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.config import SimConfig
 from repro.errors import SimulationError

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Protocol
 
 from repro.cluster.memory import MemoryLedger
 from repro.config import GB, SimConfig
@@ -97,7 +97,7 @@ class GroupAudit:
     mode: str
     n_machines: int
     started_at: float
-    stopped_at: Optional[float]
+    stopped_at: float | None
     crashed: bool
     cpu: ResourceAudit
     net: ResourceAudit
@@ -180,7 +180,7 @@ class GroupRuntime:
             spill_enabled=(mode.spill_enabled
                            and config.memory.spill_enabled))
         self.started_at = sim.now
-        self.stopped_at: Optional[float] = None
+        self.stopped_at: float | None = None
         self.crashed = False
         self.cycles: list[CycleRecord] = []
         self._jobs: dict[str, Job] = {}
@@ -296,7 +296,7 @@ class GroupRuntime:
         """Jobs asked to pause that have not reached a boundary yet."""
         return len(self._pause_requested & set(self._jobs))
 
-    def check_group_memory(self) -> Optional[OutOfMemoryError]:
+    def check_group_memory(self) -> OutOfMemoryError | None:
         """OOM probe used by the uncoordinated baselines (Fig. 4)."""
         try:
             self.ledger.check_oom()
@@ -372,7 +372,7 @@ class GroupRuntime:
                                     "RESTORE+LOAD" if restore else "LOAD",
                                     record_load, "load")
 
-        reload_event: Optional[Event] = self._submit_reload(job)
+        reload_event: Event | None = self._submit_reload(job)
         finished = False
 
         while job.remaining_iterations > 0:
@@ -486,7 +486,7 @@ class GroupRuntime:
             self._drop_job(job)
             self.hooks.on_job_paused(job, self)
 
-    def _submit_reload(self, job: Job) -> Optional[Event]:
+    def _submit_reload(self, job: Job) -> Event | None:
         if not self.memory.spill_enabled:
             return None
         seconds = self.memory.reload_seconds(job)
@@ -610,7 +610,7 @@ class GroupRuntime:
 
     # -- measurements ------------------------------------------------------------------
 
-    def measured_group_iteration(self, since: float = 0.0) -> Optional[float]:
+    def measured_group_iteration(self, since: float = 0.0) -> float | None:
         """Mean per-job cycle duration in steady state (Fig. 13b's
         measured ``T_g_itr``); None when nothing completed yet."""
         durations = [c.duration for c in self.cycles

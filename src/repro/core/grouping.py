@@ -21,7 +21,7 @@ differential suite pins the two to identical partitions.
 from __future__ import annotations
 
 import bisect
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -73,7 +73,7 @@ def extend_grouping_order(view: MetricsView, m_ref: int,
 def assign_jobs(jobs: "Sequence[JobMetrics] | MetricsView",
                 n_groups: int, m_ref: int,
                 max_swap_passes: int = 50,
-                order: Optional[np.ndarray] = None) -> \
+                order: np.ndarray | None = None) -> \
         list[list[JobMetrics]]:
     """Partition ``jobs`` into ``n_groups`` balanced groups.
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import JobStateError
 from repro.workloads.apps import JobSpec
@@ -62,9 +61,9 @@ class Job:
     #: Whether the model-data spill fallback is active (§IV-C, §V-G).
     model_spilled: bool = False
     #: Id of the group the job currently belongs to (None when queued).
-    group_id: Optional[str] = None
+    group_id: str | None = None
     submit_time: float = 0.0
-    finish_time: Optional[float] = None
+    finish_time: float | None = None
     #: Count of pause/migrate events the job went through.
     migrations: int = 0
 

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -43,12 +43,12 @@ class LocalJob:
     partitions: list[dict]
     max_epochs: int = 20
     learning_rate: float = 0.1
-    threshold: Optional[float] = None
+    threshold: float | None = None
     seed: int = 0
     #: Resume support: when set (e.g. from a checkpoint written by
     #: :func:`repro.ps.checkpoint.save_checkpoint`), these values seed
     #: the servers instead of ``model.init_params``.
-    initial_params: Optional[dict] = None
+    initial_params: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.partitions:
@@ -115,7 +115,8 @@ class LocalHarmonyRuntime:
     def __init__(self, jobs: list[LocalJob], coordinate: bool = True,
                  secondary_comm_slots: int = 1,
                  barrier_timeout: float = 60.0,
-                 tracer=None):
+                 tracer=None,
+                 clock: "Callable[[], float]" = time.perf_counter):
         if not jobs:
             raise WorkloadError("no jobs to run")
         ids = [job.job_id for job in jobs]
@@ -132,6 +133,10 @@ class LocalHarmonyRuntime:
                                                  tracer=tracer)
         self.profiler = Profiler()
         self._barrier_timeout = barrier_timeout
+        # Subtask timing reads go through an injectable clock (real
+        # wall time by default) so tests can pin profiled durations
+        # and the only wall-clock read is this default.
+        self._clock = clock
 
     # -- execution -----------------------------------------------------------
 
@@ -186,7 +191,7 @@ class LocalHarmonyRuntime:
                     servers[shard].store.update(
                         {k: deltas[k] for k in keys})
 
-        started = time.perf_counter()
+        started = self._clock()
         losses: list[float] = []
         stop_event = threading.Event()
 
@@ -198,25 +203,25 @@ class LocalHarmonyRuntime:
                 partition = job.partitions[worker_id]
                 for epoch in range(job.max_epochs):
                     # PULL subtask (network-dominant).
-                    pull_started = time.perf_counter()
+                    pull_started = self._clock()
                     with self._acquire(self._net_token):
                         params = client.pull()
-                    pull_seconds = time.perf_counter() - pull_started
+                    pull_seconds = self._clock() - pull_started
                     if not self._synchronizer.arrive(job.job_id, epoch,
                                                      SubTaskKind.PULL):
                         break  # barrier force-released (worker loss)
                     # COMP subtask (CPU-dominant, one at a time).
-                    compute_started = time.perf_counter()
+                    compute_started = self._clock()
                     with self._acquire(self._cpu_token):
                         state.iteration = epoch
                         deltas, loss = job.model.compute(params,
                                                          partition, state)
-                    compute_seconds = time.perf_counter() - compute_started
+                    compute_seconds = self._clock() - compute_started
                     # PUSH subtask (network-dominant).
-                    push_started = time.perf_counter()
+                    push_started = self._clock()
                     with self._acquire(self._net_token):
                         client.push(deltas)
-                    push_seconds = time.perf_counter() - push_started
+                    push_seconds = self._clock() - push_started
                     self.profiler.record_iteration(
                         job.job_id, t_cpu=compute_seconds,
                         t_net=pull_seconds + push_seconds,
@@ -233,7 +238,7 @@ class LocalHarmonyRuntime:
                 stop_event.set()
 
         def finalize() -> None:
-            duration = time.perf_counter() - started
+            duration = self._clock() - started
             final = {}
             for server in servers:
                 final.update(server.checkpoint())

@@ -18,8 +18,8 @@ under the 5% benefit threshold.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.config import SimConfig
@@ -89,9 +89,9 @@ class HarmonyMaster:
                  cost_model: CostModel, config: SimConfig,
                  streams: RandomStreams,
                  recorder: ClusterUsageRecorder,
-                 perf_model: Optional[PerfModel] = None,
+                 perf_model: PerfModel | None = None,
                  scheduler_factory=None,
-                 fault_log: Optional[FaultLog] = None):
+                 fault_log: FaultLog | None = None):
         self.sim = sim
         self.cluster = cluster
         self.cost_model = cost_model
@@ -122,7 +122,7 @@ class HarmonyMaster:
         self._waiting: list[str] = []
         self._profiling_iterations: dict[str, int] = {}
         self._pending_moves: dict[str, str] = {}
-        self._rebuild: Optional[_Rebuild] = None
+        self._rebuild: _Rebuild | None = None
         self._last_apply_time = float("-inf")
         #: group_id -> index of its open DecisionRecord + epoch start.
         self._open_decisions: dict[str, tuple[int, float]] = {}
@@ -153,7 +153,7 @@ class HarmonyMaster:
         #: publishes or a group's membership changes, so the repeated
         #: ``_live_estimates`` sweeps inside one decision cascade reuse
         #: the same Eq. 1-3 evaluations.
-        self._estimate_cache: dict[tuple, Optional[GroupEstimate]] = {}
+        self._estimate_cache: dict[tuple, GroupEstimate | None] = {}
         self.estimate_cache_hits = 0
         self.estimate_cache_misses = 0
         # §IV-B1: a moving-average publish is exactly when memoized
@@ -298,7 +298,7 @@ class HarmonyMaster:
             if previous_state is JobState.WAITING:
                 self._waiting.remove(job.job_id)
 
-    def _profiling_target(self, job: Job) -> Optional[GroupRuntime]:
+    def _profiling_target(self, job: Job) -> GroupRuntime | None:
         def profiling_count(group: GroupRuntime) -> int:
             return sum(1 for j in group.jobs()
                        if j.state is JobState.PROFILING)
@@ -312,7 +312,7 @@ class HarmonyMaster:
         pool = already_profiling if already_profiling else candidates
         return min(pool, key=lambda g: g.n_machines)
 
-    def _bootstrap_group(self, job: Job) -> Optional[GroupRuntime]:
+    def _bootstrap_group(self, job: Job) -> GroupRuntime | None:
         floor = self._memory_floor([job.job_id])
         wanted = max(_BOOTSTRAP_MACHINES, floor)
         if wanted > self.cluster.n_free:
@@ -322,7 +322,7 @@ class HarmonyMaster:
     # ---------------------------------------------------- failure injection
 
     def inject_machine_failure(self, machine_id: int,
-                               fault_record: Optional[FaultRecord] = None,
+                               fault_record: FaultRecord | None = None,
                                ) -> list[str]:
         """A machine dies: the group on it crashes and every co-located
         job restarts from its last checkpoint (§VI fault tolerance).
@@ -391,7 +391,7 @@ class HarmonyMaster:
         return [job.job_id for job in victims]
 
     def on_machine_failure(self, machine_id: int,
-                           fault_record: Optional[FaultRecord] = None,
+                           fault_record: FaultRecord | None = None,
                            ) -> list[str]:
         """Heartbeat-loss entry point (called by the health monitor).
 
@@ -490,7 +490,7 @@ class HarmonyMaster:
         metrics = self.profiler.get(job.job_id)
         current_group = self.groups.get(job.group_id or "")
 
-        options: list[tuple[float, str, Optional[str]]] = []
+        options: list[tuple[float, str, str | None]] = []
         options.append((self._score_with(job, placed_in=job.group_id),
                         "stay", job.group_id))
         for group_id, group in self.groups.items():
@@ -526,7 +526,7 @@ class HarmonyMaster:
             assert current_group is not None
             current_group.request_pause(job.job_id)
 
-    def _balanced_machines(self, metrics: JobMetrics) -> Optional[int]:
+    def _balanced_machines(self, metrics: JobMetrics) -> int | None:
         """Machine count balancing one job's CPU and network use, capped
         by free machines and floored by memory feasibility."""
         free = self.cluster.n_free
@@ -712,7 +712,10 @@ class HarmonyMaster:
                           machines=plan.machines_used,
                           score=round(plan.score, 4))
         self._last_apply_time = self.sim.now
-        live = {gid: self.groups[gid] for gid in scope_group_ids
+        # Sorted, not set order: the greedy matching below breaks
+        # overlap ties by iteration order, so hash-order iteration
+        # would make regroup migrations differ across processes.
+        live = {gid: self.groups[gid] for gid in sorted(scope_group_ids)
                 if gid in self.groups}
 
         # Greedy max-overlap matching among same-sized groups.
@@ -728,7 +731,7 @@ class HarmonyMaster:
         pairs.sort(reverse=True)
         matched_plan: dict[int, str] = {}
         matched_live: set[str] = set()
-        for overlap, index, gid in pairs:
+        for _overlap, index, gid in pairs:
             if index in matched_plan or gid in matched_live:
                 continue
             matched_plan[index] = gid
@@ -892,8 +895,8 @@ class HarmonyMaster:
         self._estimate_cache.clear()
 
     def _group_estimate(self, group: GroupRuntime,
-                        exclude_job: Optional[str] = None) -> \
-            Optional[GroupEstimate]:
+                        exclude_job: str | None = None) -> \
+            GroupEstimate | None:
         """One group's Eq. 1-3 estimate, memoized between invalidations.
 
         The placement-option sweep of ``_on_job_profiled`` calls
@@ -916,7 +919,7 @@ class HarmonyMaster:
         self._estimate_cache[key] = estimate
         return estimate
 
-    def _live_estimates(self, exclude_job: Optional[str] = None,
+    def _live_estimates(self, exclude_job: str | None = None,
                         exclude_groups: Sequence[str] = ()) -> \
             list[GroupEstimate]:
         estimates = []
@@ -938,8 +941,8 @@ class HarmonyMaster:
     def _score_current(self) -> float:
         return self._score_estimates(self._live_estimates())
 
-    def _score_with(self, job: Job, placed_in: Optional[str] = None,
-                    new_group_m: Optional[int] = None) -> float:
+    def _score_with(self, job: Job, placed_in: str | None = None,
+                    new_group_m: int | None = None) -> float:
         """Predicted cluster score with ``job`` placed as specified."""
         metrics = self.profiler.get(job.job_id)
         if new_group_m is not None:
@@ -963,7 +966,8 @@ class HarmonyMaster:
 
     def _score_plan_with_rest(self, plan: SchedulePlan,
                               exclude: set[str]) -> float:
-        estimates = self._live_estimates(exclude_groups=tuple(exclude))
+        estimates = self._live_estimates(
+            exclude_groups=tuple(sorted(exclude)))
         estimates.extend(group.estimate for group in plan.groups)
         return self._score_estimates(estimates)
 

@@ -20,9 +20,9 @@ levels").
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Callable, Optional, Sequence
 
 from repro.core.profiler import JobMetrics
 from repro.errors import SchedulingError
@@ -87,8 +87,10 @@ class GroupEstimate:
     def bound_case(self) -> str:
         """Which of the Fig. 8 cases dominates: 'cpu', 'net', or 'job'."""
         t_g = self.t_group_iteration
+        # harmony: allow[DET006] t_g is by construction exactly one of these maxima
         if t_g == self.t_cpu_sum:
             return "cpu"
+        # harmony: allow[DET006] t_g is by construction exactly one of these maxima
         if t_g == self.t_net_sum:
             return "net"
         return "job"
@@ -98,7 +100,7 @@ class PerfModel:
     """Predicts group/cluster performance from profiled metrics."""
 
     def __init__(self, cpu_weight: float = 0.75,
-                 error_injector: Optional[ErrorInjector] = None):
+                 error_injector: ErrorInjector | None = None):
         self.cpu_weight = cpu_weight
         self._injector = error_injector
 
@@ -126,12 +128,12 @@ class PerfModel:
             m=m,
             t_cpu_sum=sum(t_cpus),
             t_net_sum=sum(t_nets),
-            t_itr_max=max(tc + tn for tc, tn in zip(t_cpus, t_nets)))
+            t_itr_max=max(tc + tn for tc, tn in zip(t_cpus, t_nets, strict=True)))
 
     # -- cluster-level aggregation --------------------------------------------
 
     def cluster_utilization(self, groups: Sequence[GroupEstimate],
-                            total_machines: Optional[int] = None) -> \
+                            total_machines: int | None = None) -> \
             UtilizationVector:
         """Eq. 4: machine-weighted average utilization over job groups.
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.allocation import MemoryFloorFn
 from repro.core.profiler import JobMetrics
@@ -149,8 +149,8 @@ def _best_swap(group_a: list[JobMetrics], group_b: list[JobMetrics],
 
 def reference_allocate_machines(
         groups: Sequence[Sequence[JobMetrics]], total_machines: int,
-        memory_floor: Optional[MemoryFloorFn] = None) -> \
-        Optional[list[int]]:
+        memory_floor: MemoryFloorFn | None = None) -> \
+        list[int] | None:
     """The original L8 allocator: one heap round-trip per machine.
 
     The production allocator batches consecutive grants to the same
@@ -215,7 +215,7 @@ class ReferenceScheduler(HarmonyScheduler):
         self._estimate_memo = None  # re-estimate every group
 
     def _plan_for(self, jobs: Sequence[JobMetrics],
-                  total_machines: int) -> Optional[SchedulePlan]:
+                  total_machines: int) -> SchedulePlan | None:
         n_groups = self._pick_group_count(jobs, total_machines)
         groups = reference_assign_jobs(
             jobs, n_groups,

@@ -10,7 +10,8 @@ searches; the escalation lives in the master, which owns the groups.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.profiler import JobMetrics
 
@@ -42,7 +43,7 @@ def is_similar_job(candidate: JobMetrics, target: JobMetrics, m: int,
 
 def find_similar_job(candidates: Sequence[JobMetrics],
                      target: JobMetrics, m: int,
-                     threshold: float = 0.05) -> Optional[JobMetrics]:
+                     threshold: float = 0.05) -> JobMetrics | None:
     """The §IV-B4 single-replacement search: the closest candidate
     within tolerance, or None."""
     best = None
@@ -64,7 +65,7 @@ def find_similar_job(candidates: Sequence[JobMetrics],
 def find_similar_bundle(candidates: Sequence[JobMetrics],
                         target: JobMetrics, m: int,
                         threshold: float = 0.05,
-                        max_bundle: int = 4) -> Optional[list[JobMetrics]]:
+                        max_bundle: int = 4) -> list[JobMetrics] | None:
     """The §IV-B4 bundle search: a set of jobs "whose the sum of
     iteration times and the ratio of respective sum of computation and
     communication times are similar to the finished job".
@@ -139,7 +140,7 @@ def splice_plan(plan: "SchedulePlan", perf_model: "PerfModel",
 
 
 def prefer_fewer_jobs(plans: Sequence[tuple[int, float]],
-                      preference: float = 0.05) -> Optional[int]:
+                      preference: float = 0.05) -> int | None:
     """Pick among (scope_size, predicted_score) candidates.
 
     "It compares their predicted performance and selects the grouping

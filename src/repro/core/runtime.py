@@ -10,8 +10,8 @@ prediction errors.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -22,8 +22,8 @@ from repro.core.master import HarmonyMaster
 from repro.core.perfmodel import PerfModel
 from repro.errors import SimulationError
 from repro.metrics.faults import FaultLog
-from repro.metrics.utilization import ClusterUsageRecorder
 from repro.metrics.timeline import Timeline
+from repro.metrics.utilization import ClusterUsageRecorder
 from repro.sim import RandomStreams, Simulator
 from repro.trace.tracer import Tracer, build_tracer
 from repro.workloads.apps import JobSpec
@@ -37,11 +37,11 @@ class JobOutcome:
     job_id: str
     state: JobState
     submit_time: float
-    finish_time: Optional[float]
+    finish_time: float | None
     migrations: int
 
     @property
-    def jct(self) -> Optional[float]:
+    def jct(self) -> float | None:
         if self.finish_time is None:
             return None
         return self.finish_time - self.submit_time
@@ -65,10 +65,10 @@ class RunResult:
     stall_seconds: float = 0.0
     wall_seconds: float = 0.0
     #: Recovery accounting when a fault plan was injected (else None).
-    fault_log: Optional[FaultLog] = None
+    fault_log: FaultLog | None = None
     #: The run's tracer when tracing was enabled (else None); feed it
     #: to :func:`repro.trace.write_chrome_trace` for a Perfetto view.
-    trace: Optional[Tracer] = None
+    trace: Tracer | None = None
 
     # -- headline numbers -------------------------------------------------
 
@@ -170,11 +170,11 @@ class HarmonyRuntime:
 
     def __init__(self, n_machines: int, workload: Sequence[JobSpec],
                  config: SimConfig = DEFAULT_SIM_CONFIG,
-                 perf_model: Optional[PerfModel] = None,
-                 cost_model: Optional[CostModel] = None,
+                 perf_model: PerfModel | None = None,
+                 cost_model: CostModel | None = None,
                  scheduler_factory=None,
                  scheduler_name: str = "harmony",
-                 failure_times: Optional[Sequence[float]] = None,
+                 failure_times: Sequence[float] | None = None,
                  fault_plan=None,
                  heartbeat_interval: float = 30.0,
                  heartbeat_timeout: float = 90.0):
@@ -261,10 +261,11 @@ class HarmonyRuntime:
         return (self.injector is not None
                 and self.injector.pending_repairs > 0)
 
-    def run(self, max_sim_seconds: Optional[float] = None,
-            max_events: Optional[int] = None) -> RunResult:
+    def run(self, max_sim_seconds: float | None = None,
+            max_events: int | None = None) -> RunResult:
         """Submit the workload and simulate until every job terminates."""
         import time as _time
+        # harmony: allow[DET001] wall_seconds measures real runtime of run() itself
         wall_start = _time.perf_counter()
         for spec in self.workload:
             self.sim.call_at(spec.submit_time,
@@ -309,6 +310,7 @@ class HarmonyRuntime:
             alpha_samples=[c.alpha for c in all_cycles],
             gc_seconds=sum(c.gc_overhead for c in all_cycles),
             stall_seconds=sum(c.stall for c in all_cycles),
+            # harmony: allow[DET001] wall_seconds measures real runtime of run() itself
             wall_seconds=_time.perf_counter() - wall_start,
             fault_log=self.fault_log,
             trace=self.sim.tracer if self.sim.tracer.enabled else None)

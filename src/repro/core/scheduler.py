@@ -22,15 +22,14 @@ two to identical plans.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.config import SchedulerConfig
 from repro.core.allocation import MemoryFloorFn, allocate_machines
-from repro.core.grouping import (assign_jobs, extend_grouping_order,
-                                 grouping_order)
+from repro.core.grouping import assign_jobs, extend_grouping_order, grouping_order
 from repro.core.perfmodel import GroupEstimate, PerfModel, UtilizationVector
 from repro.core.profiler import JobMetrics, MetricsView
 from repro.errors import SchedulingError
@@ -237,19 +236,19 @@ class PlanCache:
 class HarmonyScheduler:
     """Implements Algorithm 1 plus the n_G* search of L6."""
 
-    def __init__(self, perf_model: Optional[PerfModel] = None,
-                 config: Optional[SchedulerConfig] = None,
-                 memory_floor: Optional[MemoryFloorFn] = None):
+    def __init__(self, perf_model: PerfModel | None = None,
+                 config: SchedulerConfig | None = None,
+                 memory_floor: MemoryFloorFn | None = None):
         self.config = config if config is not None else SchedulerConfig()
         self.perf_model = perf_model if perf_model is not None \
             else PerfModel(cpu_weight=self.config.cpu_weight)
         self.memory_floor = memory_floor
         #: Shape of the most recent :meth:`schedule` call (None before
         #: the first call); read by the master's trace instrumentation.
-        self.last_stats: Optional[ScheduleStats] = None
+        self.last_stats: ScheduleStats | None = None
         #: Prefix-plan memo; subclasses may set it to None to disable
         #: (the reference path does), as does configuring 0 entries.
-        self.plan_cache: Optional[PlanCache] = (
+        self.plan_cache: PlanCache | None = (
             PlanCache(max_entries=self.config.plan_cache_entries)
             if self.config.plan_cache_entries > 0 else None)
         #: Per-call warm-start state: m_ref -> (sorted order, #jobs it
@@ -271,7 +270,7 @@ class HarmonyScheduler:
     # -- Algorithm 1 ---------------------------------------------------------
 
     def schedule(self, jobs: Sequence[JobMetrics],
-                 total_machines: int) -> Optional[SchedulePlan]:
+                 total_machines: int) -> SchedulePlan | None:
         """The ``schedule`` function of Algorithm 1.
 
         Returns the best plan found, or None when no job can be placed
@@ -287,7 +286,7 @@ class HarmonyScheduler:
         cache = self.plan_cache
         fingerprints = _prefix_fingerprints(ordered) \
             if cache is not None else None
-        best: Optional[SchedulePlan] = None
+        best: SchedulePlan | None = None
         no_improvement = 0
         n_prefixes = 0
         cache_hits = 0
@@ -383,7 +382,7 @@ class HarmonyScheduler:
         raise SchedulingError(f"unknown admission order {order!r}")
 
     def _plan_for(self, jobs: "Sequence[JobMetrics] | MetricsView",
-                  total_machines: int) -> Optional[SchedulePlan]:
+                  total_machines: int) -> SchedulePlan | None:
         """One iteration of the L4-L13 loop body for a fixed job set."""
         view = jobs if isinstance(jobs, MetricsView) else MetricsView(jobs)
         n_groups = self._pick_group_count(view, total_machines)
@@ -438,11 +437,11 @@ class HarmonyScheduler:
             else None
         if memo is None:
             estimates = [self.perf_model.estimate_group(group, m)
-                         for group, m in zip(groups, allocation)]
+                         for group, m in zip(groups, allocation, strict=True)]
         else:
             estimate_group = self.perf_model.estimate_group
             estimates = []
-            for group, m in zip(groups, allocation):
+            for group, m in zip(groups, allocation, strict=True):
                 key = (m, *map(id, group))
                 cached = memo.get(key)
                 if cached is None:
@@ -452,7 +451,7 @@ class HarmonyScheduler:
         utilization = self.perf_model.cluster_utilization(
             estimates, total_machines=total_machines)
         plans = tuple(GroupPlan(job_ids=e.job_ids, n_machines=m, estimate=e)
-                      for e, m in zip(estimates, allocation))
+                      for e, m in zip(estimates, allocation, strict=True))
         return SchedulePlan(groups=plans, utilization=utilization,
                             score=self.perf_model.score(utilization),
                             total_machines=total_machines)

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 
 class ResourceKind(enum.Enum):
@@ -58,7 +57,7 @@ class SubTask:
     #: Service demand in seconds on its dominant resource (at rate 1.0).
     duration: float
     #: Worker index for distributed execution (None = group-level model).
-    worker: Optional[int] = None
+    worker: int | None = None
 
     @property
     def resource(self) -> ResourceKind:

@@ -21,7 +21,6 @@ regroup instead of crashing.
 from __future__ import annotations
 
 import threading
-from typing import Optional
 
 from repro.core.subtask import SubTaskKind
 from repro.errors import SimulationError
@@ -159,7 +158,7 @@ class SubTaskSynchronizer:
             return (job_id in self._expected
                     and job_id not in self._released)
 
-    def pending(self, job_id: str) -> Optional[int]:
+    def pending(self, job_id: str) -> int | None:
         """Number of open barriers for a job (diagnostics)."""
         with self._condition:
             if job_id not in self._expected:

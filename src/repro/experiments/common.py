@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
 
 from repro.config import DEFAULT_SIM_CONFIG, SimConfig
 from repro.core.group_runtime import ExecutionMode, GroupRuntime
@@ -51,9 +51,9 @@ class SingleGroupResult:
     duration_seconds: float
     #: Per-job mean cycle times, first (pipeline-fill) cycle excluded.
     per_job_cycle_seconds: dict = None  # type: ignore[assignment]
-    oom: Optional[OutOfMemoryError] = None
+    oom: OutOfMemoryError | None = None
     #: The run's tracer when ``config.trace.enabled`` (else None).
-    trace: Optional[Tracer] = None
+    trace: Tracer | None = None
 
     @property
     def failed(self) -> bool:
@@ -93,7 +93,7 @@ class _CollectingHooks:
 def run_single_group(specs: Sequence[JobSpec], n_machines: int,
                      mode: ExecutionMode = ExecutionMode.HARMONY,
                      config: SimConfig = DEFAULT_SIM_CONFIG,
-                     max_iterations: Optional[int] = None) -> \
+                     max_iterations: int | None = None) -> \
         SingleGroupResult:
     """Run one fixed job group to completion and measure it.
 
@@ -127,7 +127,7 @@ def run_single_group(specs: Sequence[JobSpec], n_machines: int,
             break
     cycles = [c.duration for c in group.cycles]
     per_job: dict[str, float] = {}
-    for job_id in {c.job_id for c in group.cycles}:
+    for job_id in sorted({c.job_id for c in group.cycles}):
         durations = [c.duration for c in group.cycles
                      if c.job_id == job_id][1:]
         if durations:

@@ -8,8 +8,8 @@ resources with larger variance; the triple runs out of memory —
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from repro.core.group_runtime import ExecutionMode
 from repro.experiments.common import run_single_group
@@ -35,8 +35,8 @@ def _specs() -> dict[str, JobSpec]:
 @dataclass
 class Fig04Row:
     label: str
-    cpu_utilization: Optional[float]
-    net_utilization: Optional[float]
+    cpu_utilization: float | None
+    net_utilization: float | None
     oom: bool
 
 

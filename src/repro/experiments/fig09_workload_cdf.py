@@ -15,8 +15,7 @@ from repro.metrics.reporting import format_table
 from repro.metrics.stats import cdf_points
 from repro.workloads.apps import DATASETS, JobSpec
 from repro.workloads.costmodel import CostModel
-from repro.workloads.generator import CHARACTERIZATION_DOP, \
-    make_base_workload
+from repro.workloads.generator import CHARACTERIZATION_DOP, make_base_workload
 
 
 @dataclass

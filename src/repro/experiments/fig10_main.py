@@ -8,8 +8,8 @@ worst cases below 1x; Harmony 2.11x JCT / 1.60x makespan.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from repro.baselines.isolated import IsolatedRuntime
 from repro.baselines.naive import run_naive_cases
@@ -59,8 +59,8 @@ class Fig10Result:
 
 def run(scale: float = 1.0, seed: int = 2021, n_naive_cases: int = 3,
         config: SimConfig = DEFAULT_SIM_CONFIG,
-        workload: Optional[Sequence[JobSpec]] = None,
-        n_machines: Optional[int] = None) -> Fig10Result:
+        workload: Sequence[JobSpec] | None = None,
+        n_machines: int | None = None) -> Fig10Result:
     """Run the experiment; see the module docstring for
     the paper exhibit it reproduces."""
     if workload is None:

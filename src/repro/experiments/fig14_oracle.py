@@ -53,16 +53,20 @@ def run(n_jobs: int = 8, n_machines: int = 24, seed: int = 2021,
     workload = WorkloadGenerator(seed).base_workload(
         hyper_params_per_pair=1)[:n_jobs]
 
+    # harmony: allow[DET001] the measured quantity is real scheduler wall time
     started = time.perf_counter()
     harmony = HarmonyRuntime(n_machines, workload, config=config,
                              scheduler_factory=HarmonyScheduler,
                              scheduler_name="harmony").run()
+    # harmony: allow[DET001] the measured quantity is real scheduler wall time
     harmony_wall = time.perf_counter() - started
 
+    # harmony: allow[DET001] the measured quantity is real scheduler wall time
     started = time.perf_counter()
     oracle = HarmonyRuntime(n_machines, workload, config=config,
                             scheduler_factory=OracleScheduler,
                             scheduler_name="oracle").run()
+    # harmony: allow[DET001] the measured quantity is real scheduler wall time
     oracle_wall = time.perf_counter() - started
 
     return Fig14Result(harmony=harmony, oracle=oracle,

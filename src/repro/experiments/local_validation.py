@@ -58,14 +58,18 @@ def run(n_jobs: int = 3, epochs: int = 4,
         comp_seconds: float = 0.04) -> LocalValidationResult:
     """Run the experiment; see the module docstring for
     the paper exhibit it reproduces."""
+    # harmony: allow[DET001] local runtime is real threads; wall time is the exhibit
     started = time.perf_counter()
     LocalHarmonyRuntime(_jobs(n_jobs, epochs, comp_seconds),
                         barrier_timeout=60).run()
+    # harmony: allow[DET001] local runtime is real threads; wall time is the exhibit
     coordinated_wall = time.perf_counter() - started
 
+    # harmony: allow[DET001] local runtime is real threads; wall time is the exhibit
     started = time.perf_counter()
     LocalHarmonyRuntime(_jobs(n_jobs, epochs, comp_seconds),
                         coordinate=False, barrier_timeout=60).run()
+    # harmony: allow[DET001] local runtime is real threads; wall time is the exhibit
     uncoordinated_wall = time.perf_counter() - started
 
     return LocalValidationResult(

@@ -154,8 +154,10 @@ def replay(scheduler, profiles: list[tuple[str, float, float]],
 
     def full_schedule(kind: str):
         pool = [profiler.get(job_id) for job_id in pool_ids]
+        # harmony: allow[DET001] measures real scheduling latency, not sim state
         started = time.perf_counter()
         plan = scheduler.schedule(pool, machines)
+        # harmony: allow[DET001] measures real scheduling latency, not sim state
         result.scheduling_seconds += time.perf_counter() - started
         result.n_schedule_calls += 1
         absorb_stats()
@@ -200,6 +202,7 @@ def _try_patch(scheduler, profiler, result: ChurnRunResult,
     patched score trips the regroup threshold).
     """
     previous = getattr(scheduler, "_churn_last_plan", None)
+    # harmony: allow[DET001] measures real scheduling latency, not sim state
     timed_from = time.perf_counter()
     patched = None
     if previous is not None and finished in previous.scheduled_job_ids:
@@ -216,6 +219,7 @@ def _try_patch(scheduler, profiler, result: ChurnRunResult,
             scheduler._churn_last_plan = patched
             result.n_patched += 1
             result.scores.append(("patched", patched.score))
+    # harmony: allow[DET001] measures real scheduling latency, not sim state
     result.scheduling_seconds += time.perf_counter() - timed_from
     return patched
 

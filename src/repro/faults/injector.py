@@ -22,8 +22,6 @@ time, lost iterations, and re-run work can be reported.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cluster.cluster import Cluster
 from repro.errors import SimulationError
 from repro.faults.monitor import HealthMonitor
@@ -37,7 +35,7 @@ class FaultInjector:
 
     def __init__(self, sim: Simulator, cluster: Cluster, master,
                  monitor: HealthMonitor, plan: FaultPlan,
-                 log: Optional[FaultLog] = None):
+                 log: FaultLog | None = None):
         self.sim = sim
         self.cluster = cluster
         self.master = master

@@ -11,8 +11,6 @@ recovery time, as it is in production.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cluster.cluster import Cluster
 from repro.errors import SimulationError
 from repro.metrics.faults import FaultLog, FaultRecord
@@ -25,7 +23,7 @@ class HealthMonitor:
 
     def __init__(self, sim: Simulator, cluster: Cluster, master,
                  interval: float = 30.0, timeout: float = 90.0,
-                 log: Optional[FaultLog] = None):
+                 log: FaultLog | None = None):
         if interval <= 0 or timeout <= 0:
             raise SimulationError(
                 f"heartbeat interval/timeout must be positive "
@@ -38,7 +36,7 @@ class HealthMonitor:
         self.log = log
         self._last_beat: dict[int, float] = {
             m.machine_id: sim.now for m in cluster.machines}
-        self._silenced: dict[int, Optional[FaultRecord]] = {}
+        self._silenced: dict[int, FaultRecord | None] = {}
         self._reported: set[int] = set()
         self._process = None
         self.detections = 0
@@ -46,7 +44,7 @@ class HealthMonitor:
     # -- injector interface --------------------------------------------
 
     def silence(self, machine_id: int,
-                record: Optional[FaultRecord] = None) -> None:
+                record: FaultRecord | None = None) -> None:
         """The machine died: its heartbeats stop from now on."""
         self._silenced[machine_id] = record
 

@@ -10,8 +10,8 @@ timeline (and therefore an identical simulated run).
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.rand import RandomStreams
@@ -63,7 +63,7 @@ class FaultPlan:
     """A deterministic, time-ordered fault schedule."""
 
     events: tuple[FaultEvent, ...]
-    seed: Optional[int] = None
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         times = [event.time for event in self.events]
@@ -96,7 +96,7 @@ class FaultPlan:
 
     @staticmethod
     def build(events: Iterable[FaultEvent],
-              seed: Optional[int] = None) -> "FaultPlan":
+              seed: int | None = None) -> "FaultPlan":
         return FaultPlan(events=tuple(events), seed=seed)
 
     @staticmethod

@@ -1,6 +1,7 @@
 """Measurement: utilization timelines, run statistics, paper-style reports."""
 
 from repro.metrics.faults import FaultLog, FaultRecord, FaultSummary
+from repro.metrics.reporting import format_table
 from repro.metrics.stats import cdf_points, mean, percentile, speedup
 from repro.metrics.timeline import Timeline, bin_segments
 from repro.metrics.utilization import (
@@ -8,7 +9,6 @@ from repro.metrics.utilization import (
     DecisionRecord,
     GroupUsage,
 )
-from repro.metrics.reporting import format_table
 
 __all__ = [
     "ClusterUsageRecorder",

@@ -8,8 +8,9 @@ dependency-free (``csv`` from the standard library).
 from __future__ import annotations
 
 import csv
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any
 
 
 def write_csv(path: "str | Path", headers: Sequence[str],
@@ -33,7 +34,7 @@ def export_timeline(path: "str | Path", timeline) -> Path:
     """One utilization timeline (Fig. 11-style) to CSV."""
     rows = [(f"{minute:.1f}", f"{value:.4f}")
             for minute, value in zip(timeline.times_minutes,
-                                     timeline.values)]
+                                     timeline.values, strict=True)]
     return write_csv(path, ["minute", "utilization"], rows)
 
 
@@ -41,7 +42,7 @@ def export_cdf(path: "str | Path", values: Sequence[float]) -> Path:
     """An empirical CDF (Figs. 9/12-style) to CSV."""
     from repro.metrics.stats import cdf_points
     xs, ys = cdf_points(values)
-    rows = [(f"{x:.6g}", f"{y:.6f}") for x, y in zip(xs, ys)]
+    rows = [(f"{x:.6g}", f"{y:.6f}") for x, y in zip(xs, ys, strict=True)]
     return write_csv(path, ["value", "cumulative_fraction"], rows)
 
 

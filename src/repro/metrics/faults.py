@@ -10,7 +10,6 @@ progress were lost, and how much work had to be re-run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass
@@ -21,7 +20,7 @@ class FaultRecord:
     kind: str
     machine_id: int
     #: Group that was running on the machine (None: machine was free).
-    group_id: Optional[str] = None
+    group_id: str | None = None
     #: Jobs that were running in the group when the fault hit.
     job_ids: tuple[str, ...] = ()
     #: Window length of a transient fault (slowdown / network drop), or
@@ -30,7 +29,7 @@ class FaultRecord:
     #: Slowdown / retransmit multiplier of a transient fault.
     severity: float = 1.0
     #: When the health monitor noticed the crash (crashes only).
-    detected_at: Optional[float] = None
+    detected_at: float | None = None
     #: Iterations of progress rolled back to the last checkpoint,
     #: summed over the affected jobs.
     lost_iterations: int = 0
@@ -41,7 +40,7 @@ class FaultRecord:
     recovery_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
-    def detection_seconds(self) -> Optional[float]:
+    def detection_seconds(self) -> float | None:
         if self.detected_at is None:
             return None
         return self.detected_at - self.time

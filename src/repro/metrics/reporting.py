@@ -6,7 +6,8 @@ keeps the formatting consistent (and testable) across them.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],

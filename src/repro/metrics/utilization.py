@@ -10,7 +10,6 @@ Figs. 10–14.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -56,17 +55,17 @@ class DecisionRecord:
     predicted_t_group: float
     predicted_u_cpu: float
     predicted_u_net: float
-    measured_t_group: Optional[float] = None
-    measured_u_cpu: Optional[float] = None
-    measured_u_net: Optional[float] = None
+    measured_t_group: float | None = None
+    measured_u_cpu: float | None = None
+    measured_u_net: float | None = None
 
-    def t_group_error(self) -> Optional[float]:
+    def t_group_error(self) -> float | None:
         if not self.measured_t_group or self.predicted_t_group <= 0:
             return None
         return abs(self.predicted_t_group - self.measured_t_group) \
             / self.measured_t_group
 
-    def u_error(self) -> Optional[float]:
+    def u_error(self) -> float | None:
         if self.measured_u_cpu is None or self.measured_u_net is None:
             return None
         measured = self.measured_u_cpu + self.measured_u_net

@@ -12,8 +12,8 @@ decompose them into subtasks mechanically (§IV-A):
 from __future__ import annotations
 
 import abc
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Mapping
 
 import numpy as np
 

@@ -9,15 +9,13 @@ well, since absolute thresholds are model-specific.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.errors import ConvergenceError
 
 
 class ConvergenceTracker:
     """Tracks an objective that should decrease over epochs."""
 
-    def __init__(self, threshold: Optional[float] = None,
+    def __init__(self, threshold: float | None = None,
                  relative_tolerance: float = 1e-3, patience: int = 3,
                  max_epochs: int = 10_000):
         if patience < 1:

@@ -8,7 +8,7 @@ soft-thresholding step toward the L1-sparse solution.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -11,7 +11,7 @@ Bösen/Petuum LDA).
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -53,8 +53,8 @@ class LDAModel(PSTrainable):
         doc_topic = np.zeros((len(documents), self.n_topics))
         topic_word = np.zeros((self.n_topics, self.vocab_size))
         topic_total = np.zeros(self.n_topics)
-        for d, (doc, topics) in enumerate(zip(documents, assignments)):
-            for word, topic in zip(doc, topics):
+        for d, (doc, topics) in enumerate(zip(documents, assignments, strict=True)):
+            for word, topic in zip(doc, topics, strict=True):
                 doc_topic[d, topic] += 1
                 topic_word[topic, word] += 1
                 topic_total[topic] += 1

@@ -8,7 +8,7 @@ the worker's partition and pushes ``-lr * grad`` as the delta.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

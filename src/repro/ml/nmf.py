@@ -9,7 +9,7 @@ model-sized data the cost model assumes.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -14,7 +14,7 @@ not part of the paper's workload set.
 from __future__ import annotations
 
 import time
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -51,8 +51,10 @@ class SleepModel(PSTrainable):
     def compute(self, params: Mapping[str, np.ndarray],
                 partition: dict, state: TrainState) -> \
             tuple[dict[str, np.ndarray], float]:
+        # harmony: allow[DET001] synthetic workload burns real CPU time by design
         deadline = time.perf_counter() + self.comp_seconds
         if self.spin:
+            # harmony: allow[DET001] synthetic workload burns real CPU time by design
             while time.perf_counter() < deadline:
                 pass  # burn CPU for real
         elif self.comp_seconds > 0:

@@ -15,8 +15,8 @@ exact synchronous step it paused at.
 from __future__ import annotations
 
 import struct
+from collections.abc import Mapping
 from pathlib import Path
-from typing import Mapping
 
 import numpy as np
 

@@ -8,7 +8,7 @@ methods as COMM subtasks" with serialization hoisted out).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class PSClient:
 
     # -- the PS API --------------------------------------------------------
 
-    def pull(self, keys: Optional[list[str]] = None) -> \
+    def pull(self, keys: list[str] | None = None) -> \
             dict[str, np.ndarray]:
         """Gather parameters for the current clock from all shards."""
         wanted = self.partitioner.keys if keys is None else list(keys)

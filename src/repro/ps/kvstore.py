@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class KVStore:
                 raise PSError(f"unknown key {key!r}")
             return value.copy()
 
-    def snapshot(self, keys: Optional[Iterable[str]] = None) -> \
+    def snapshot(self, keys: Iterable[str] | None = None) -> \
             dict[str, np.ndarray]:
         """Copies of the requested (default: all) entries."""
         with self._lock:

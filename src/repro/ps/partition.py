@@ -8,7 +8,7 @@ for same-shaped keys.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import PSError
 

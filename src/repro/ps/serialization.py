@@ -9,7 +9,7 @@ and :func:`payload_bytes` is what the transport charges to the wire.
 from __future__ import annotations
 
 import struct
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -23,7 +23,7 @@ def payload_bytes(arrays: Mapping[str, np.ndarray]) -> int:
     total = len(_MAGIC) + 4
     for key, value in arrays.items():
         array = np.asarray(value, dtype=np.float64)
-        total += 4 + len(key.encode("utf-8"))
+        total += 4 + len(key.encode())
         total += 4  # ndim
         total += 8 * array.ndim  # shape
         total += array.nbytes
@@ -36,7 +36,7 @@ def encode(arrays: Mapping[str, np.ndarray]) -> bytes:
     for key in sorted(arrays):
         # note: np.ascontiguousarray would promote 0-d arrays to 1-d.
         value = np.asarray(arrays[key], dtype=np.float64, order="C")
-        name = key.encode("utf-8")
+        name = key.encode()
         parts.append(struct.pack("<I", len(name)))
         parts.append(name)
         parts.append(struct.pack("<I", value.ndim))

@@ -9,7 +9,7 @@ push has been applied.  :meth:`handle_pull` blocks on that barrier.
 from __future__ import annotations
 
 import threading
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

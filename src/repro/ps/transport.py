@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Mapping, Optional, TYPE_CHECKING
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class InProcessTransport:
     """Routes pull/push requests to registered server shards."""
 
-    def __init__(self, simulated_bandwidth_bps: Optional[float] = None):
+    def __init__(self, simulated_bandwidth_bps: float | None = None):
         self._servers: dict[int, "PSServer"] = {}
         self._lock = threading.Lock()
         self.simulated_bandwidth_bps = simulated_bandwidth_bps

@@ -8,7 +8,8 @@ building block of the SubTask Synchronizer's cross-worker barriers.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, TYPE_CHECKING
+from collections.abc import Callable, Iterable
+from typing import Any, TYPE_CHECKING
 
 from repro.errors import SimulationError
 

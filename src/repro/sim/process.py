@@ -10,7 +10,8 @@ on each other and be composed with ``AllOf``/``AnyOf``.
 
 from __future__ import annotations
 
-from typing import Generator, TYPE_CHECKING
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from repro.errors import ProcessKilled, SimulationError
 from repro.sim.events import Event

@@ -26,7 +26,7 @@ class RandomStreams:
         generator = self._streams.get(name)
         if generator is None:
             child_seed = np.random.SeedSequence(
-                [self.seed, zlib.crc32(name.encode("utf-8"))])
+                [self.seed, zlib.crc32(name.encode())])
             generator = np.random.default_rng(child_seed)
             self._streams[name] = generator
         return generator

@@ -22,8 +22,8 @@ Three policies cover every resource in the paper:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
 
 from repro.errors import ResourceError
 from repro.sim.events import Event
@@ -58,7 +58,7 @@ def primary_secondary(secondary_rate: float = 0.4) -> RatePolicy:
 
 
 def processor_sharing(interference: float = 0.0,
-                      max_concurrent: Optional[int] = None) -> RatePolicy:
+                      max_concurrent: int | None = None) -> RatePolicy:
     """All (or the first ``max_concurrent``) tasks share the resource.
 
     With ``k`` concurrent tasks each receives ``eff(k) / k`` where
@@ -103,9 +103,9 @@ class _Task:
     work_remaining: float
     work_total: float
     event: Event
-    tag: Optional[str]
+    tag: str | None
     submitted_at: float
-    started_at: Optional[float] = None
+    started_at: float | None = None
     served: float = 0.0
 
 
@@ -147,7 +147,7 @@ class RateResource:
 
     def __init__(self, sim: Simulator, policy: RatePolicy, name: str = "",
                  record_segments: bool = True,
-                 trace_gauge: Optional[str] = None):
+                 trace_gauge: str | None = None):
         self.sim = sim
         self.name = name
         self._policy = policy
@@ -184,7 +184,7 @@ class RateResource:
     def queue_length(self) -> int:
         return len(self._tasks)
 
-    def submit(self, work: float, tag: Optional[str] = None) -> Event:
+    def submit(self, work: float, tag: str | None = None) -> Event:
         """Enqueue ``work`` seconds of service; returns a completion event.
 
         The event value is a :class:`ServiceRecord`.
@@ -283,7 +283,7 @@ class RateResource:
             self.busy_seconds += level * dt
             if self._record_segments:
                 self._append_segment(self._last_update, now, level)
-        for task, rate in zip(self._tasks, rates):
+        for task, rate in zip(self._tasks, rates, strict=True):
             if rate <= _EPSILON:
                 continue
             if task.started_at is None:
@@ -319,7 +319,7 @@ class RateResource:
             return
         rates = self.current_rates()
         horizon = None
-        for task, rate in zip(self._tasks, rates):
+        for task, rate in zip(self._tasks, rates, strict=True):
             if rate <= _EPSILON:
                 continue
             eta = task.work_remaining / rate

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
@@ -81,8 +82,8 @@ class Simulator:
         callback()
         return True
 
-    def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> float:
         """Run until the queue drains, ``until`` is reached, or
         ``max_events`` callbacks have executed.
 
@@ -109,7 +110,7 @@ class Simulator:
             self._running = False
         return self._now
 
-    def peek(self) -> Optional[float]:
+    def peek(self) -> float | None:
         """Time of the next scheduled callback, or None if queue empty."""
         return self._queue[0][0] if self._queue else None
 

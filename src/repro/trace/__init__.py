@@ -23,11 +23,11 @@ from repro.trace.export import (
     write_chrome_trace,
 )
 from repro.trace.tracer import (
-    NULL_TRACER,
     Counter,
     Gauge,
     InstantEvent,
     MetricsRegistry,
+    NULL_TRACER,
     NullTracer,
     Span,
     SpanHandle,

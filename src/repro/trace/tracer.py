@@ -16,8 +16,9 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any
 
 from repro.errors import TraceError
 
@@ -57,7 +58,7 @@ class Span:
     cat: str
     start: float
     end: float
-    args: Optional[dict[str, Any]] = None
+    args: dict[str, Any] | None = None
 
     @property
     def duration(self) -> float:
@@ -71,8 +72,8 @@ class InstantEvent:
     name: str
     cat: str
     time: float
-    track: Optional[Track] = None
-    args: Optional[dict[str, Any]] = None
+    track: Track | None = None
+    args: dict[str, Any] | None = None
 
 
 @dataclass
@@ -83,7 +84,7 @@ class SpanHandle:
     name: str
     cat: str
     start: float
-    args: Optional[dict[str, Any]] = None
+    args: dict[str, Any] | None = None
     closed: bool = False
 
 
@@ -97,7 +98,7 @@ class Counter:
         self.name = name
         self.value = 0.0
         #: ``(time, value)`` after each update; None when sampling off.
-        self.samples: Optional[list[tuple[float, float]]] = \
+        self.samples: list[tuple[float, float]] | None = \
             [] if keep_samples else None
         self._clock = clock
 
@@ -116,7 +117,7 @@ class Gauge:
                  keep_samples: bool = True):
         self.name = name
         self.value = 0.0
-        self.samples: Optional[list[tuple[float, float]]] = \
+        self.samples: list[tuple[float, float]] | None = \
             [] if keep_samples else None
         self._clock = clock
 
@@ -174,7 +175,7 @@ class Tracer:
     enabled = True
 
     def __init__(self, clock: Clock,
-                 config: Optional[TraceConfig] = None):
+                 config: TraceConfig | None = None):
         self.config = config if config is not None \
             else TraceConfig(enabled=True)
         self._clock = clock
@@ -216,8 +217,8 @@ class Tracer:
     # -- track interning ------------------------------------------------
 
     def track(self, process: str, thread: str,
-              process_sort: Optional[int] = None,
-              thread_sort: Optional[int] = None) -> Track:
+              process_sort: int | None = None,
+              thread_sort: int | None = None) -> Track:
         """Intern a (process, thread) label pair to a :class:`Track`.
 
         Sort hints control Perfetto's display order; they are applied
@@ -242,14 +243,14 @@ class Tracer:
     # -- span events -----------------------------------------------------
 
     def begin(self, track: Track, name: str, cat: str = "",
-              args: Optional[dict[str, Any]] = None) -> SpanHandle:
+              args: dict[str, Any] | None = None) -> SpanHandle:
         """Open a span at the current clock time."""
         self._open_spans += 1
         return SpanHandle(track=track, name=name, cat=cat,
                           start=self._clock(), args=args)
 
     def end(self, handle: SpanHandle,
-            args: Optional[dict[str, Any]] = None) -> Optional[Span]:
+            args: dict[str, Any] | None = None) -> Span | None:
         """Close an open span at the current clock time."""
         if handle.closed:
             raise TraceError(f"span {handle.name!r} already closed")
@@ -263,8 +264,8 @@ class Tracer:
                                  handle.start, self._clock(), merged)
 
     def complete(self, track: Track, name: str, start: float,
-                 end: Optional[float] = None, cat: str = "",
-                 args: Optional[dict[str, Any]] = None) -> Optional[Span]:
+                 end: float | None = None, cat: str = "",
+                 args: dict[str, Any] | None = None) -> Span | None:
         """Record a span whose boundaries are already known."""
         return self._record_span(track, name, cat, start,
                                  self._clock() if end is None else end,
@@ -272,7 +273,7 @@ class Tracer:
 
     def _record_span(self, track: Track, name: str, cat: str,
                      start: float, end: float,
-                     args: Optional[dict[str, Any]]) -> Optional[Span]:
+                     args: dict[str, Any] | None) -> Span | None:
         if end < start:
             raise TraceError(
                 f"span {name!r} ends before it starts "
@@ -287,8 +288,8 @@ class Tracer:
     # -- instant events ---------------------------------------------------
 
     def instant(self, name: str, cat: str = "",
-                track: Optional[Track] = None,
-                args: Optional[dict[str, Any]] = None) -> None:
+                track: Track | None = None,
+                args: dict[str, Any] | None = None) -> None:
         if not self._has_room():
             return
         self.instants.append(InstantEvent(
@@ -353,26 +354,26 @@ class NullTracer:
         return 0.0
 
     def track(self, process: str, thread: str,
-              process_sort: Optional[int] = None,
-              thread_sort: Optional[int] = None) -> Track:
+              process_sort: int | None = None,
+              thread_sort: int | None = None) -> Track:
         return _NULL_TRACK
 
     def begin(self, track: Track, name: str, cat: str = "",
-              args: Optional[dict[str, Any]] = None) -> SpanHandle:
+              args: dict[str, Any] | None = None) -> SpanHandle:
         return _NULL_HANDLE
 
     def end(self, handle: SpanHandle,
-            args: Optional[dict[str, Any]] = None) -> None:
+            args: dict[str, Any] | None = None) -> None:
         return None
 
     def complete(self, track: Track, name: str, start: float,
-                 end: Optional[float] = None, cat: str = "",
-                 args: Optional[dict[str, Any]] = None) -> None:
+                 end: float | None = None, cat: str = "",
+                 args: dict[str, Any] | None = None) -> None:
         return None
 
     def instant(self, name: str, cat: str = "",
-                track: Optional[Track] = None,
-                args: Optional[dict[str, Any]] = None) -> None:
+                track: Track | None = None,
+                args: dict[str, Any] | None = None) -> None:
         return None
 
     def counter(self, name: str) -> _NullMetric:

@@ -4,8 +4,8 @@ workload, arrival processes, and the ground-truth iteration cost model.
 
 from repro.workloads.apps import (
     APPS,
-    DATASETS,
     AppSpec,
+    DATASETS,
     DatasetSpec,
     JobSpec,
     LASSO,
@@ -13,17 +13,17 @@ from repro.workloads.apps import (
     MLR,
     NMF,
 )
+from repro.workloads.arrivals import (
+    batch_arrivals,
+    poisson_arrivals,
+    with_arrival_times,
+)
 from repro.workloads.costmodel import CostModel, IterationProfile
 from repro.workloads.generator import (
     WorkloadGenerator,
     comm_intensive_subset,
     comp_intensive_subset,
     make_base_workload,
-)
-from repro.workloads.arrivals import (
-    batch_arrivals,
-    poisson_arrivals,
-    with_arrival_times,
 )
 from repro.workloads.traces import google_trace_arrivals, google_trace_windows
 

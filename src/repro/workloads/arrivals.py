@@ -7,8 +7,8 @@ mean 0 means all jobs arrive at once (the main §V-C experiment).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import replace
-from typing import Sequence
 
 import numpy as np
 
@@ -52,7 +52,7 @@ def with_arrival_times(jobs: Sequence[JobSpec],
         raise WorkloadError(
             f"{len(jobs)} jobs but {len(arrival_times)} arrival times")
     stamped = []
-    for job, when in zip(jobs, arrival_times):
+    for job, when in zip(jobs, arrival_times, strict=True):
         if when < 0:
             raise WorkloadError(f"negative arrival time {when}")
         stamped.append(replace(job, submit_time=float(when)))

@@ -12,7 +12,7 @@ computation ratio) are provided by :func:`comp_intensive_subset` and
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import WorkloadError
 from repro.sim.rand import RandomStreams

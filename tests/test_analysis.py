@@ -1,0 +1,576 @@
+"""Tests for harmonylint (repro.analysis): each rule family on
+small fixtures (positive flagged / negative clean), suppression
+comments, the expiring baseline, the CLI, and self-application to
+this repository's own tree."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisConfig, Analyzer, REGISTRY
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    TODAY_ENV,
+    snippet_hash,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.findings import FAMILIES
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def lint(tmp_path, files, select=(), baseline_path=None):
+    """Write ``files`` (relpath -> source) under ``tmp_path`` and run
+    the analyzer over the whole tree."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    config = AnalysisConfig(paths=["."], select=set(select),
+                            baseline_path=baseline_path,
+                            root=str(tmp_path))
+    return Analyzer(config).run()
+
+
+def rule_ids(report):
+    return {finding.rule_id for finding in report.findings}
+
+
+class TestDetFamily:
+    def test_wall_clock_flagged_in_core(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import time
+
+            def now():
+                return time.time()
+            """})
+        assert "DET001" in rule_ids(report)
+
+    def test_wall_clock_alias_resolved(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            from time import perf_counter as pc
+
+            def now():
+                return pc()
+            """})
+        assert "DET001" in rule_ids(report)
+
+    def test_trace_and_benchmarks_exempt(self, tmp_path):
+        report = lint(tmp_path, {
+            "src/repro/trace/x.py": "import time\nt = time.time()\n",
+            "benchmarks/bench_x.py": "import time\nt = time.time()\n"})
+        assert "DET001" not in rule_ids(report)
+
+    def test_global_random_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """})
+        assert "DET002" in rule_ids(report)
+
+    def test_seeded_random_instance_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """})
+        assert "DET002" not in rule_ids(report)
+
+    def test_legacy_numpy_random_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """})
+        assert "DET003" in rule_ids(report)
+
+    def test_default_rng_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import numpy as np
+
+            def noise(n, seed):
+                return np.random.default_rng(seed).random(n)
+            """})
+        assert "DET003" not in rule_ids(report)
+
+    def test_set_order_escape_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def order(a, b):
+                pending = {a, b}
+                out = []
+                for item in pending:
+                    out.append(item)
+                return out
+            """})
+        assert "DET004" in rule_ids(report)
+
+    def test_sorted_iteration_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def order(a, b):
+                pending = {a, b}
+                out = []
+                for item in sorted(pending):
+                    out.append(item)
+                return out
+            """})
+        assert "DET004" not in rule_ids(report)
+
+    def test_identity_sort_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def order(groups):
+                return sorted(groups, key=id)
+            """})
+        assert "DET005" in rule_ids(report)
+
+    def test_float_equality_on_score_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def same(score, ref_score):
+                return score == ref_score
+            """})
+        assert "DET006" in rule_ids(report)
+
+    def test_is_sorted_idiom_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def is_sorted(times):
+                return times == sorted(times)
+            """})
+        assert "DET006" not in rule_ids(report)
+
+    def test_entropy_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import uuid
+
+            def fresh_id():
+                return uuid.uuid4().hex
+            """})
+        assert "DET007" in rule_ids(report)
+
+
+SIM_HEADER = "from repro.sim import Simulator\n"
+
+
+class TestSimFamily:
+    def test_sleep_in_sim_module_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": SIM_HEADER + """
+import time
+
+def wait():
+    time.sleep(1)
+"""})
+        assert "SIM001" in rule_ids(report)
+
+    def test_sleep_without_sim_import_clean(self, tmp_path):
+        """Thread-based runtimes (no repro.sim import) may sleep."""
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import time
+
+            def wait():
+                time.sleep(1)
+            """})
+        assert "SIM001" not in rule_ids(report)
+
+    def test_open_inside_sim_process_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": SIM_HEADER + """
+def process(sim):
+    with open('x.txt') as fh:
+        fh.read()
+    yield sim.timeout(1)
+"""})
+        assert "SIM001" in rule_ids(report)
+
+    def test_config_mutation_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def tweak(config):
+                config.alpha = 2.0
+            """})
+        assert "SIM002" in rule_ids(report)
+
+    def test_config_construction_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            class Runtime:
+                def __init__(self, config):
+                    self.config = config
+            """})
+        assert "SIM002" not in rule_ids(report)
+
+    def test_sim_reentry_from_callback_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": SIM_HEADER + """
+class Master:
+    def on_job_finished(self, job):
+        self.sim.run()
+"""})
+        assert "SIM003" in rule_ids(report)
+
+    def test_sim_run_at_driver_level_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": SIM_HEADER + """
+def drive(sim):
+    sim.run()
+"""})
+        assert "SIM003" not in rule_ids(report)
+
+
+class TestTrcFamily:
+    def test_unbalanced_span_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def work(tracer):
+                span = tracer.begin(0, "COMP")
+                do_work()
+            """})
+        assert "TRC001" in rule_ids(report)
+
+    def test_span_closed_in_finally_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def work(tracer):
+                span = tracer.begin(0, "COMP")
+                try:
+                    return do_work()
+                finally:
+                    tracer.end(span)
+            """})
+        assert "TRC001" not in rule_ids(report)
+
+    def test_undeclared_counter_name_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def bump(tracer):
+                tracer.counter("totally.bogus.name", 1)
+            """})
+        assert "TRC002" in rule_ids(report)
+
+    def test_declared_counter_name_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def bump(tracer):
+                tracer.counter("faults.detected", 1)
+            """})
+        assert "TRC002" not in rule_ids(report)
+
+    def test_undeclared_span_name_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            def work(tracer):
+                span = tracer.begin(0, "MYSTERY-PHASE")
+                tracer.end(span)
+            """})
+        assert "TRC003" in rule_ids(report)
+
+
+CACHE_PROFILER = """
+from dataclasses import dataclass
+
+@dataclass
+class JobMetrics:
+    job_id: str
+    cpu_work: float
+    t_net: float
+
+    def t_cpu_at(self, m):
+        return self.cpu_work / m
+"""
+
+CACHE_FINGERPRINT_PARTIAL = """
+def _prefix_fingerprints(jobs):
+    return [hash((job.job_id, job.cpu_work)) for job in jobs]
+"""
+
+CACHE_FINGERPRINT_FULL = """
+def _prefix_fingerprints(jobs):
+    return [hash((job.job_id, job.cpu_work, job.t_net))
+            for job in jobs]
+"""
+
+
+class TestCacheFamily:
+    def test_uncovered_field_read_flagged(self, tmp_path):
+        report = lint(tmp_path, {
+            "src/repro/core/profiler.py": CACHE_PROFILER,
+            "src/repro/core/scheduler.py": CACHE_FINGERPRINT_PARTIAL,
+            "src/repro/core/grouping.py":
+                "def score(m):\n    return m.t_net\n"})
+        assert "CACHE001" in rule_ids(report)
+        finding = [f for f in report.findings
+                   if f.rule_id == "CACHE001"][0]
+        assert "t_net" in finding.message
+
+    def test_covered_reads_clean(self, tmp_path):
+        report = lint(tmp_path, {
+            "src/repro/core/profiler.py": CACHE_PROFILER,
+            "src/repro/core/scheduler.py": CACHE_FINGERPRINT_FULL,
+            "src/repro/core/grouping.py":
+                "def score(m):\n    return m.t_net + m.t_cpu_at(4)\n"})
+        assert "CACHE001" not in rule_ids(report)
+
+    def test_derived_method_resolved_to_fields(self, tmp_path):
+        """Reading t_cpu_at() counts as reading cpu_work."""
+        report = lint(tmp_path, {
+            "src/repro/core/profiler.py": CACHE_PROFILER,
+            "src/repro/core/scheduler.py": """
+def _prefix_fingerprints(jobs):
+    return [hash((job.job_id, job.t_net)) for job in jobs]
+""",
+            "src/repro/core/grouping.py":
+                "def score(m):\n    return m.t_cpu_at(4)\n"})
+        assert "CACHE001" in rule_ids(report)
+
+
+class TestSuppression:
+    def test_allow_on_same_line(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import time
+
+            def now():
+                return time.time()  # harmony: allow[DET001] deliberate
+            """})
+        assert "DET001" not in rule_ids(report)
+        assert any(f.rule_id == "DET001" for f in report.suppressed)
+
+    def test_allow_on_line_above(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import time
+
+            def now():
+                # harmony: allow[DET001] deliberate
+                return time.time()
+            """})
+        assert "DET001" not in rule_ids(report)
+
+    def test_allow_is_rule_specific(self, tmp_path):
+        """An allow for one rule does not mask another."""
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import time
+
+            def now():
+                return time.time()  # harmony: allow[SIM001] wrong id
+            """})
+        assert "DET001" in rule_ids(report)
+
+    def test_allow_list_of_rules(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import time
+
+            def now():
+                return time.time()  # harmony: allow[DET001,DET006] x
+            """})
+        assert "DET001" not in rule_ids(report)
+
+
+class TestBaseline:
+    def _write_baseline(self, tmp_path, expires):
+        source = "import time\nt = time.time()\n"
+        (tmp_path / "src").mkdir(parents=True, exist_ok=True)
+        (tmp_path / "src" / "x.py").write_text(source)
+        baseline = Baseline([BaselineEntry(
+            rule="DET001", path="src/x.py",
+            snippet_hash=snippet_hash("t = time.time()"),
+            reason="pre-existing", expires=expires)])
+        baseline.save(str(tmp_path / "lint-baseline.json"))
+
+    def _run(self, tmp_path):
+        config = AnalysisConfig(paths=["."], select={"DET001"},
+                                baseline_path="lint-baseline.json",
+                                root=str(tmp_path))
+        return Analyzer(config).run()
+
+    def test_live_entry_masks_finding(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TODAY_ENV, "2026-01-01")
+        self._write_baseline(tmp_path, expires="2026-12-31")
+        report = self._run(tmp_path)
+        assert not report.findings
+        assert len(report.baselined) == 1
+        assert report.ok
+
+    def test_expired_entry_resurfaces_finding(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv(TODAY_ENV, "2027-06-01")
+        self._write_baseline(tmp_path, expires="2026-12-31")
+        report = self._run(tmp_path)
+        assert len(report.findings) == 1
+        assert report.findings[0].baseline_expired
+        assert not report.ok
+
+    def test_baseline_keyed_by_snippet_not_line(self, tmp_path,
+                                                monkeypatch):
+        """Edits above the finding do not unmask it."""
+        monkeypatch.setenv(TODAY_ENV, "2026-01-01")
+        self._write_baseline(tmp_path, expires="2026-12-31")
+        moved = "import time\n\n\n# a comment\nt = time.time()\n"
+        (tmp_path / "src" / "x.py").write_text(moved)
+        report = self._run(tmp_path)
+        assert not report.findings
+        assert len(report.baselined) == 1
+
+    def test_stale_entry_reported(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TODAY_ENV, "2026-01-01")
+        self._write_baseline(tmp_path, expires="2026-12-31")
+        (tmp_path / "src" / "x.py").write_text("t = 0\n")
+        report = self._run(tmp_path)
+        assert not report.findings
+        assert report.stale_baseline_entries
+
+
+#: Fixtures that must trip each registered rule: the coverage floor
+#: the issue asks for (>= 12 distinct rule ids across 4 families).
+_POSITIVE_FIXTURES = {
+    "DET001": {"src/repro/core/x.py":
+               "import time\nt = time.time()\n"},
+    "DET002": {"src/repro/core/x.py":
+               "import random\nv = random.random()\n"},
+    "DET003": {"src/repro/core/x.py":
+               "import numpy as np\nv = np.random.rand(3)\n"},
+    "DET004": {"src/repro/core/x.py": textwrap.dedent("""
+        def f(a, b):
+            out = []
+            for item in {a, b}:
+                out.append(item)
+            return out
+        """)},
+    "DET005": {"src/repro/core/x.py":
+               "def f(xs):\n    return sorted(xs, key=id)\n"},
+    "DET006": {"src/repro/core/x.py":
+               "def f(score, other_score):\n"
+               "    return score == other_score\n"},
+    "DET007": {"src/repro/core/x.py":
+               "import uuid\nv = uuid.uuid4()\n"},
+    "SIM001": {"src/repro/core/x.py":
+               SIM_HEADER + "import time\ntime.sleep(1)\n"},
+    "SIM002": {"src/repro/core/x.py":
+               "def f(config):\n    config.x = 1\n"},
+    "SIM003": {"src/repro/core/x.py": SIM_HEADER + textwrap.dedent("""
+        class M:
+            def on_done(self):
+                self.sim.run()
+        """)},
+    "TRC001": {"src/repro/core/x.py": textwrap.dedent("""
+        def f(tracer):
+            span = tracer.begin(0, "COMP")
+        """)},
+    "TRC002": {"src/repro/core/x.py":
+               "def f(t):\n    t.counter('nope.nope', 1)\n"},
+    "TRC003": {"src/repro/core/x.py": textwrap.dedent("""
+        def f(t):
+            span = t.begin(0, "NOPE")
+            t.end(span)
+        """)},
+    "CACHE001": {
+        "src/repro/core/profiler.py": CACHE_PROFILER,
+        "src/repro/core/scheduler.py": CACHE_FINGERPRINT_PARTIAL,
+        "src/repro/core/grouping.py":
+            "def score(m):\n    return m.t_net\n"},
+}
+
+
+class TestRuleCoverage:
+    def test_registry_spans_all_families(self):
+        families = {REGISTRY[rule_id].rule.family
+                    for rule_id in REGISTRY}
+        assert families == set(FAMILIES)
+        assert len(REGISTRY) >= 12
+
+    def test_every_fixture_has_a_rule(self):
+        assert set(_POSITIVE_FIXTURES) == set(REGISTRY)
+
+    @pytest.mark.parametrize("rule_id", sorted(_POSITIVE_FIXTURES))
+    def test_rule_fires_on_fixture(self, rule_id, tmp_path):
+        report = lint(tmp_path, _POSITIVE_FIXTURES[rule_id])
+        assert rule_id in rule_ids(report)
+
+    def test_twelve_distinct_ids_across_four_families(self, tmp_path):
+        seen = set()
+        for index, (_rule_id, files) in enumerate(
+                sorted(_POSITIVE_FIXTURES.items())):
+            case = tmp_path / f"case{index}"
+            case.mkdir()
+            seen |= rule_ids(lint(case, files))
+        assert len(seen) >= 12
+        assert {rule_id.rstrip("0123456789")
+                for rule_id in seen} == set(FAMILIES)
+
+
+class TestCli:
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text(
+            "import time\nt = time.time()\n")
+        code = lint_main(["--root", str(tmp_path), "--no-baseline"])
+        assert code == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text("x = 1\n")
+        assert lint_main(["--root", str(tmp_path)]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text(
+            "import time\nt = time.time()\n")
+        code = lint_main(["--root", str(tmp_path), "--format", "json",
+                          "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["findings"][0]["rule"] == "DET001"
+        assert payload["ok"] is False
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        assert lint_main(["--root", str(tmp_path),
+                          "--select", "NOPE999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "SIM001", "TRC001", "CACHE001"):
+            assert rule_id in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text(
+            "import time\nt = time.time()\n")
+        assert lint_main(["--root", str(tmp_path),
+                          "--write-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").exists()
+        assert lint_main(["--root", str(tmp_path)]) == 0
+
+    def test_output_file_written(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text("x = 1\n")
+        target = tmp_path / "report.json"
+        lint_main(["--root", str(tmp_path), "--format", "json",
+                   "--output", str(target)])
+        assert json.loads(target.read_text())["ok"] is True
+
+
+class TestSelfApplication:
+    def test_own_tree_is_clean(self):
+        """The linter applied to this repository: every finding is
+        fixed, suppressed inline, or baselined with a justification."""
+        config = AnalysisConfig(paths=["src", "benchmarks"],
+                                baseline_path="lint-baseline.json",
+                                root=REPO_ROOT)
+        report = Analyzer(config).run()
+        assert report.ok, "\n".join(
+            finding.render() for finding in report.findings)
+        assert report.n_files > 100
+
+    def test_injected_wall_clock_fails_ci_style(self, tmp_path):
+        """The acceptance scenario: an un-suppressed time.time() in
+        core/ makes ``python -m repro lint --format=json`` exit 1."""
+        bad = tmp_path / "src" / "repro" / "core"
+        bad.mkdir(parents=True)
+        (bad / "freshly_broken.py").write_text(
+            "import time\n\n\ndef now():\n    return time.time()\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--format=json",
+             "--root", str(tmp_path)],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        flagged = {f["rule"] for f in payload["findings"]}
+        assert "DET001" in flagged

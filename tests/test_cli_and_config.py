@@ -1,10 +1,12 @@
 """Tests for the CLI entry point, configuration, and error types."""
 
+import dataclasses
+
 import pytest
 
+from repro import errors
 from repro.__main__ import DRIVERS, main
 from repro.config import DEFAULT_SIM_CONFIG, GB, GCModel, MB, MachineSpec
-from repro import errors
 
 
 class TestCli:
@@ -38,6 +40,40 @@ class TestCli:
         assert "Harmony" in capsys.readouterr().out
 
 
+class TestSubcommandDispatch:
+    def test_help_lists_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "check" in out
+        assert "lint" in out
+        assert "invariant checker" in out
+        assert "static" in out and "analyzer" in out
+
+    def test_list_includes_subcommands(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "check" in out
+        assert "lint" in out
+
+    def test_lint_dispatches_to_analysis_cli(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "harmonylint rules" in out
+
+    def test_lint_forwards_arguments(self, capsys):
+        assert main(["lint", "--select", "BOGUS123"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_check_dispatches_to_check_cli(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--help"])
+        assert excinfo.value.code == 0
+        assert "repro check" in capsys.readouterr().out
+
+
 class TestMachineSpec:
     def test_m4_2xlarge_defaults(self):
         spec = MachineSpec()
@@ -63,7 +99,7 @@ class TestSimConfig:
         assert derived.scheduler == DEFAULT_SIM_CONFIG.scheduler
 
     def test_configs_are_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             DEFAULT_SIM_CONFIG.seed = 1
 
     def test_gc_model_nested_in_memory_config(self):

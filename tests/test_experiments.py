@@ -45,7 +45,7 @@ class TestCommon:
 class TestFig02:
     def test_no_config_reaches_full_utilization(self):
         result = fig02_single_job.run()
-        for label, cpu, net in result.rows:
+        for _label, cpu, net in result.rows:
             assert cpu + net < 170.0  # both cannot be high at once
             assert cpu > 5.0 and net > 5.0
         assert "Fig. 2" in fig02_single_job.report(result)

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.cluster.allreduce import AllReduceModel
 from repro.config import ExecutionConfig, SimConfig
+from repro.config import GB, MachineSpec
 from repro.core.runtime import HarmonyRuntime
 from repro.errors import WorkloadError
-from repro.cluster.allreduce import AllReduceModel
-from repro.config import GB, MachineSpec
 from repro.workloads.costmodel import CostModel
 from repro.workloads.generator import WorkloadGenerator
 

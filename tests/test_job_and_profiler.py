@@ -165,7 +165,7 @@ class TestProfiler:
             profiler.record_iteration("j", t_cpu=value, t_net=1.0, m=1)
         n = len(samples)
         weights = [alpha * (1 - alpha) ** (n - 1 - i) for i in range(n)]
-        expected = sum(w * v for w, v in zip(weights, samples)) \
+        expected = sum(w * v for w, v in zip(weights, samples, strict=True)) \
             / sum(weights)
         assert profiler.get("j").cpu_work == pytest.approx(expected)
 

@@ -70,6 +70,41 @@ class TestLocalRuntime:
         with pytest.raises(WorkloadError):
             LocalHarmonyRuntime([])
 
+    def test_injected_clock_drives_all_timing(self):
+        """Regression for wall-clock reads scattered through the
+        runtime: every subtask timing read goes through the injected
+        clock, so a fake clock ticking in whole seconds must yield
+        integer-valued profiled durations (a stray time.perf_counter()
+        would contribute sub-millisecond fractions)."""
+        import threading
+
+        lock = threading.Lock()
+        ticks = [0.0]
+
+        def fake_clock():
+            with lock:
+                ticks[0] += 1.0
+                return ticks[0]
+
+        runtime = LocalHarmonyRuntime([mlr_job(epochs=3)],
+                                      barrier_timeout=30,
+                                      clock=fake_clock)
+        recorded = []
+        real_record = runtime.profiler.record_iteration
+
+        def capture(job_id, t_cpu, t_net, m):
+            recorded.append((t_cpu, t_net))
+            return real_record(job_id, t_cpu, t_net, m)
+
+        runtime.profiler.record_iteration = capture
+        results = runtime.run()
+        duration = results["mlr"].duration_seconds
+        assert duration == int(duration) and duration >= 1.0
+        assert recorded
+        for t_cpu, t_net in recorded:
+            assert t_cpu == int(t_cpu) and t_cpu >= 1.0
+            assert t_net == int(t_net) and t_net >= 2.0
+
     def test_profiler_collects_metrics(self):
         runtime = LocalHarmonyRuntime([mlr_job()], barrier_timeout=30)
         runtime.run()

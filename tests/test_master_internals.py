@@ -6,6 +6,7 @@ from repro.cluster.cluster import Cluster
 from repro.config import ExecutionConfig, MemoryConfig, SimConfig
 from repro.core.job import JobState
 from repro.core.master import HarmonyMaster
+from repro.errors import SchedulingError
 from repro.metrics.utilization import ClusterUsageRecorder
 from repro.sim import RandomStreams, Simulator
 from repro.workloads.apps import DATASETS, JobSpec, LDA, MLR
@@ -44,7 +45,7 @@ class TestSubmission:
     def test_duplicate_submit_rejected(self):
         sim, master = build_master()
         master.submit(lda_spec("a"))
-        with pytest.raises(Exception):
+        with pytest.raises(SchedulingError):
             master.submit(lda_spec("a"))
 
     def test_bootstrap_group_size_covers_memory_floor(self):

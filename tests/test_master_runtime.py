@@ -1,10 +1,15 @@
 """End-to-end tests of the Harmony master and runtime."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
 from repro.config import SimConfig
 from repro.core.runtime import HarmonyRuntime
+from repro.errors import SchedulingError
 from repro.workloads.apps import DATASETS, JobSpec, LDA
 from repro.workloads.arrivals import poisson_arrivals, with_arrival_times
 from repro.workloads.generator import WorkloadGenerator
@@ -95,7 +100,7 @@ class TestArrivals:
     def test_duplicate_submission_rejected(self):
         spec = JobSpec("dup", LDA, DATASETS["LDA"][1], iterations=2)
         runtime = HarmonyRuntime(8, [spec, spec])
-        with pytest.raises(Exception):
+        with pytest.raises(SchedulingError):
             runtime.run()
 
 
@@ -113,6 +118,35 @@ class TestDeterminism:
         first = HarmonyRuntime(16, jobs).run()
         second = HarmonyRuntime(16, jobs, config=config).run()
         assert first.makespan != second.makespan
+
+    def test_outcomes_invariant_under_hash_randomization(self):
+        """Regression for a set-iteration-order bug in
+        HarmonyMaster._apply_plan: group matching iterated a set, so
+        migrations could differ between processes with different
+        PYTHONHASHSEED values.  The whole-run outcome digest must be
+        identical across hash seeds."""
+        script = (
+            "from repro.core.runtime import HarmonyRuntime\n"
+            "from repro.workloads.generator import WorkloadGenerator\n"
+            "jobs = WorkloadGenerator(3).base_workload("
+            "hyper_params_per_pair=1)\n"
+            "result = HarmonyRuntime(24, jobs).run()\n"
+            "print(';'.join("
+            "f'{o.job_id}:{o.finish_time:.9f}:{o.migrations}'"
+            " for o in sorted(result.outcomes.values(),"
+            " key=lambda o: o.job_id)))\n")
+        digests = set()
+        for hash_seed in ("1", "2", "42"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.path.join(
+                os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__))), "src")
+            proc = subprocess.run([sys.executable, "-c", script],
+                                  capture_output=True, text=True,
+                                  env=env, check=True)
+            digests.add(proc.stdout.strip())
+        assert len(digests) == 1
 
 
 class TestBudgetedRun:

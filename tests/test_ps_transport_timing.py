@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import PSError
-from repro.ps import InProcessTransport, PSClient, PSServer, \
-    RangePartitioner
+from repro.ps import InProcessTransport, PSClient, PSServer, RangePartitioner
 
 
 def build(n_workers=1, bandwidth=None):

@@ -6,8 +6,8 @@ import time
 import pytest
 
 from repro.core.local_runtime import LocalHarmonyRuntime, LocalJob
-from repro.ml.synthetic_sleep import SleepModel
 from repro.errors import WorkloadError
+from repro.ml.synthetic_sleep import SleepModel
 
 COMP = 0.03  # seconds per COMP subtask
 

@@ -10,6 +10,7 @@ from repro.check.scenarios import ScenarioGenerator
 from repro.cluster.cluster import Cluster
 from repro.config import SchedulerConfig, SimConfig
 from repro.core.allocation import allocate_machines
+from repro.core.grouping import assign_jobs
 from repro.core.master import HarmonyMaster
 from repro.core.profiler import JobMetrics, Profiler
 from repro.core.reference import (
@@ -18,8 +19,7 @@ from repro.core.reference import (
     reference_assign_jobs,
 )
 from repro.core.regroup import splice_plan
-from repro.core.grouping import assign_jobs
-from repro.core.scheduler import _CACHE_MISS, HarmonyScheduler, PlanCache
+from repro.core.scheduler import HarmonyScheduler, PlanCache, _CACHE_MISS
 from repro.metrics.utilization import ClusterUsageRecorder
 from repro.sim import RandomStreams, Simulator
 from repro.workloads.costmodel import CostModel

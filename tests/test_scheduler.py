@@ -67,7 +67,7 @@ class TestArgminConvex:
 
     def test_strictly_convex_exact(self):
         for target in (1, 2, 17, 63, 64):
-            assert argmin_convex(lambda n: (n - target) ** 2,
+            assert argmin_convex(lambda n, t=target: (n - t) ** 2,
                                  1, 64) == target
 
     def test_matches_exhaustive_on_random_convex_costs(self):
@@ -78,8 +78,8 @@ class TestArgminConvex:
             # family as Algorithm 1's balance cost, plateaus included.
             coeffs = rng.uniform(0.1, 5.0, size=4)
             offsets = rng.uniform(1.0, 200.0, size=4)
-            cost = lambda n: float(  # noqa: E731
-                sum(abs(a * n - b) for a, b in zip(coeffs, offsets)))
+            cost = lambda n, cs=coeffs, bs=offsets: float(  # noqa: E731
+                sum(abs(a * n - b) for a, b in zip(cs, bs, strict=True)))
             low, high = 1, int(rng.integers(2, 100))
             best = argmin_convex(cost, low, high)
             exhaustive = min(cost(n) for n in range(low, high + 1))

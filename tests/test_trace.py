@@ -249,7 +249,7 @@ class TestTracedRuns:
         assert lanes
         for spans in lanes.values():
             spans.sort(key=lambda s: (s.start, s.end))
-            for prev, cur in zip(spans, spans[1:]):
+            for prev, cur in zip(spans, spans[1:], strict=False):
                 assert cur.start >= prev.end - 1e-9, \
                     f"{cur.name} overlaps {prev.name}"
 
