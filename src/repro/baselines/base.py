@@ -32,6 +32,12 @@ MAX_DOP = 32
 class BaselineMaster:
     """FIFO + backfill admission onto dedicated machine groups."""
 
+    #: Baselines neither profile nor pause: ``on_iteration`` is a no-op
+    #: and groups are only ever created, never mutated while running —
+    #: the contract that lets the fast path batch their groups
+    #: (:mod:`repro.sim.fastpath`).
+    iteration_hooks_inert = True
+
     def __init__(self, sim: Simulator, cluster: Cluster,
                  cost_model: CostModel, config: SimConfig,
                  streams: RandomStreams, recorder: ClusterUsageRecorder,
@@ -63,6 +69,12 @@ class BaselineMaster:
         self.finished_cycles: list = []
         self._queue: list[str] = []
         self._group_ids = itertools.count()
+        # machines_for/_memory_floor are pure in the batch's specs (the
+        # cost model and config never change mid-run) but are re-asked
+        # on every _pump pass — profiling showed the floor's linear
+        # scan over resident_bytes dominating baseline wall time.
+        self._machines_cache: dict[tuple[str, ...], int] = {}
+        self._floor_cache: dict[tuple[str, ...], int] = {}
         self._shuffle_rng = None
         if shuffle_seed is not None:
             import numpy as np
@@ -98,6 +110,10 @@ class BaselineMaster:
         overheads that occur with lower DoP" (§V-A) — while honouring
         the no-spill memory floor.
         """
+        key = tuple(spec.job_id for spec in specs)
+        cached = self._machines_cache.get(key)
+        if cached is not None:
+            return cached
         floor = self._memory_floor(specs)
         total_work = sum(spec.cpu_work_machine_seconds for spec in specs)
         total_comm = sum(self.cost_model.profile(spec, 1).t_comm
@@ -107,7 +123,9 @@ class BaselineMaster:
         balanced = total_work / max(total_comm, 1e-9)
         wanted = int(round(balanced * self.dop_scale))
         cap = min(MAX_DOP * len(specs), self.cluster.size)
-        return max(floor, min(cap, wanted), 1)
+        result = max(floor, min(cap, wanted), 1)
+        self._machines_cache[key] = result
+        return result
 
     def _memory_dominated(self, specs: Sequence[JobSpec],
                           wanted: int) -> bool:
@@ -126,19 +144,26 @@ class BaselineMaster:
         forced through the config (the ablation's static-spill stages),
         the floor honours it.
         """
+        key = tuple(spec.job_id for spec in specs)
+        cached = self._floor_cache.get(key)
+        if cached is not None:
+            return cached
         alpha = 0.0
         if self.mode.spill_enabled and self.config.memory.spill_enabled:
             fixed = self.config.memory.fixed_alpha
             alpha = 1.0 if fixed is None else fixed
         budget = (self.cost_model.spec.usable_memory_bytes
                   * self.config.memory.target_pressure)
+        floor = self.cluster.size + 1  # cannot co-locate this batch
         for m in range(1, self.cluster.size + 1):
             need = sum(self.cost_model.resident_bytes(spec, m,
                                                       alpha=alpha)
                        for spec in specs)
             if need <= budget:
-                return m
-        return self.cluster.size + 1  # cannot co-locate this batch
+                floor = m
+                break
+        self._floor_cache[key] = floor
+        return floor
 
     # -- admission --------------------------------------------------------------
 
@@ -257,6 +282,10 @@ class BaselineRuntime:
     def run(self, max_sim_seconds: float | None = None) -> RunResult:
         # harmony: allow[DET001] wall_seconds measures real runtime, never simulation state
         wall_start = _time.perf_counter()
+        if max_sim_seconds is not None:
+            # A truncated run must stop mid-job; batching a whole job
+            # past the horizon would diverge from the reference engine.
+            self.sim.fastpath_enabled = False
         for spec in self.workload:
             self.sim.call_at(spec.submit_time,
                              lambda s=spec: self.master.submit(s))

@@ -24,13 +24,19 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.config import ExecutionConfig, MemoryConfig, SimConfig
+from repro.check.oracle import deterministic_config, exact_metrics
 from repro.core.perfmodel import PerfModel
 from repro.core.profiler import JobMetrics
 from repro.core.scheduler import HarmonyScheduler
 from repro.sim.rand import RandomStreams
 from repro.workloads.costmodel import CostModel
 from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "exact_metrics",  # re-exported from repro.check.oracle
+    "perfmodel_cases", "oracle_cases", "run_differential",
+    "PerfModelCase", "OracleCase", "DifferentialReport",
+]
 
 #: Per-case / mean relative-error bounds for simulator vs Eq. 1.
 #: Empirical worst cases over 120 seeded instances: 10.9% / 0.7% (the
@@ -79,24 +85,6 @@ class OracleCase:
                    / self.oracle_score)
 
 
-def exact_metrics(cost_model: CostModel, spec, m: int) -> JobMetrics:
-    """Profiled metrics as the profiler would converge to them."""
-    profile = cost_model.profile(spec, m)
-    return JobMetrics(job_id=spec.job_id,
-                      cpu_work=profile.t_comp * m,
-                      t_net=profile.t_pull + profile.t_push,
-                      m_observed=m)
-
-
-def _deterministic_config(seed: int) -> SimConfig:
-    """Jitter/barrier/spill off, so the engine is Eq. 1's world."""
-    return SimConfig(
-        seed=seed,
-        execution=ExecutionConfig(duration_jitter_cv=0.0,
-                                  barrier_overhead=0.0),
-        memory=MemoryConfig(spill_enabled=False))
-
-
 def perfmodel_cases(n_cases: int = 20, seed: int = 2021,
                     iterations: int = 8) -> list[PerfModelCase]:
     """Seeded simulator-vs-Eq.1 instances (``n_cases`` of them)."""
@@ -104,7 +92,7 @@ def perfmodel_cases(n_cases: int = 20, seed: int = 2021,
 
     rng = RandomStreams(seed).spawn("check-differential").stream(
         "perfmodel")
-    config = _deterministic_config(seed)
+    config = deterministic_config(seed)
     cost_model = CostModel(config.machine)
     pool = WorkloadGenerator(seed).base_workload(hyper_params_per_pair=1)
     budget = cost_model.spec.usable_memory_bytes * 0.70

@@ -1,0 +1,74 @@
+"""Closed-form oracles shared by the checker and the fast path.
+
+Extracted from :mod:`repro.check.differential` so the same Eq. 1
+arithmetic backs both roles:
+
+* the *checker* role — :func:`exact_metrics` + ``PerfModel`` predict a
+  group's iteration time from the cost model alone, and the differential
+  suite compares the prediction against the simulated engine; and
+* the *fast-path* role — :mod:`repro.sim.fastpath` batch-advances
+  iteration-inert groups, and these helpers provide the vectorized
+  closed-form timelines (:func:`step_boundaries`,
+  :func:`predict_iteration_seconds`) used for struct-of-arrays batch
+  accounting and cross-engine comparison.
+
+Everything here is pure: no simulator, no clock, no RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ExecutionConfig, MemoryConfig, SimConfig
+from repro.core.profiler import JobMetrics
+from repro.workloads.costmodel import CostModel
+
+
+def exact_metrics(cost_model: CostModel, spec, m: int) -> JobMetrics:
+    """Profiled metrics as the profiler would converge to them."""
+    profile = cost_model.profile(spec, m)
+    return JobMetrics(job_id=spec.job_id,
+                      cpu_work=profile.t_comp * m,
+                      t_net=profile.t_pull + profile.t_push,
+                      m_observed=m)
+
+
+def deterministic_config(seed: int) -> SimConfig:
+    """Jitter/barrier/spill off, so the engine is Eq. 1's world."""
+    return SimConfig(
+        seed=seed,
+        execution=ExecutionConfig(duration_jitter_cv=0.0,
+                                  barrier_overhead=0.0),
+        memory=MemoryConfig(spill_enabled=False))
+
+
+def step_boundaries(t0: float, n_steps: int, dt: float) -> np.ndarray:
+    """The first ``n_steps`` step boundaries after ``t0``, closed form.
+
+    Boundary ``k`` is computed as ``t0 + (k + 1) * dt`` — *not* by
+    accumulating ``t += dt`` — so the k-th boundary is bitwise
+    identical no matter how many boundaries were materialized before
+    it.  Accumulation drifts: after 10^6 additions of ``dt = 0.1`` the
+    running sum is off by ~1e-8 seconds, enough to reorder ties
+    between the batched fast path and the per-event reference.
+    """
+    if n_steps < 0:
+        raise ValueError(f"negative n_steps {n_steps}")
+    ks = np.arange(1, n_steps + 1, dtype=np.float64)
+    return t0 + ks * dt
+
+
+def predict_iteration_seconds(metrics: JobMetrics, m: int) -> float:
+    """Eq. 1 (§III-B): one job's solo training-iteration time on ``m``
+    machines — CPU work perfectly parallelized plus the serialized
+    parameter pull + push."""
+    if m <= 0:
+        raise ValueError(f"need at least one machine, got {m}")
+    return metrics.cpu_work / m + metrics.t_net
+
+
+def predict_job_span(metrics: JobMetrics, m: int,
+                     iterations: int) -> float:
+    """Closed-form solo makespan of ``iterations`` training iterations
+    (the multi-step skip the fast path validates against)."""
+    return iterations * predict_iteration_seconds(metrics, m)

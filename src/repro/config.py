@@ -185,9 +185,23 @@ class SimConfig:
     #: Structured tracing / metrics registry (:mod:`repro.trace`);
     #: disabled by default so the hot simulation paths pay nothing.
     trace: TraceConfig = field(default_factory=TraceConfig)
+    #: Simulation engine: ``"fast"`` batch-advances eligible groups in
+    #: closed form (:mod:`repro.sim.fastpath`); ``"reference"`` forces
+    #: the frozen per-event path everywhere.  The two are pinned
+    #: bitwise-equal by the differential suite (tests/test_sim_fastpath).
+    engine: str = "fast"
+
+    def __post_init__(self):
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got "
+                f"{self.engine!r}")
 
     def with_seed(self, seed: int) -> "SimConfig":
         return replace(self, seed=seed)
+
+    def with_engine(self, engine: str) -> "SimConfig":
+        return replace(self, engine=engine)
 
     def with_tracing(self, enabled: bool = True, **kwargs) -> "SimConfig":
         return replace(self, trace=TraceConfig(enabled=enabled, **kwargs))

@@ -40,6 +40,7 @@ from repro.sim import (
     processor_sharing,
     serial,
 )
+from repro.sim.fastpath import GroupBatchEngine
 from repro.sim.resources import ResourceAudit
 from repro.workloads.costmodel import CostModel
 
@@ -70,7 +71,16 @@ _LANE_SORT = {"cpu": 0, "net": 1, "disk": 2}
 
 
 class GroupHooks(Protocol):
-    """Callbacks a :class:`GroupRuntime` delivers to its master."""
+    """Callbacks a :class:`GroupRuntime` delivers to its master.
+
+    A hooks implementation may additionally declare the class attribute
+    ``iteration_hooks_inert = True``, promising that ``on_iteration``
+    neither mutates the group (no pause/crash/regroup/add-job) nor
+    reads cluster state keyed to the wall clock.  That promise is what
+    lets the batched fast path (:mod:`repro.sim.fastpath`) run a whole
+    job's iterations under a warped clock; terminal hooks
+    (``on_job_finished``/``on_job_failed``) still fire at real time.
+    """
 
     def on_iteration(self, job: Job, group: "GroupRuntime") -> None: ...
 
@@ -194,6 +204,14 @@ class GroupRuntime:
         # (retransmits).  Overlapping windows compose multiplicatively.
         self._fault_cpu_factor = 1.0
         self._fault_net_factor = 1.0
+        # Batched fast path (tentpole of the vectorized simulator): only
+        # masters whose per-iteration hooks are declared inert may have
+        # their groups batch-advanced; everyone else stays on the frozen
+        # per-event reference path.
+        self._engine = (GroupBatchEngine(self)
+                        if config.engine == "fast"
+                        and getattr(hooks, "iteration_hooks_inert", False)
+                        else None)
 
     # -- inspection ------------------------------------------------------------
 
@@ -344,6 +362,11 @@ class GroupRuntime:
         profile = self.cost_model.profile(spec, m)
         barrier = 1.0 + self.config.execution.barrier_overhead
         trace = self._trace
+        # Hot-loop locals: the jitter stream name is fixed for the
+        # job's lifetime; build it once instead of 3x per iteration.
+        jitter = self.streams.jitter
+        jitter_name = f"duration:{self.group_id}:{job_id}"
+        jitter_cv = self._duration_jitter_cv
         # Bytes moved per COMM subtask, for the registry's throughput
         # counters (PULL is a no-op under all-reduce).
         pull_bytes = (spec.comm_gb_per_direction * GB
@@ -357,6 +380,15 @@ class GroupRuntime:
                 self.hooks.on_job_failed(job, self, oom)
                 return
 
+        # Fast path (repro.sim.fastpath): batch the whole job — initial
+        # load plus every iteration — in closed form when the group is
+        # isolated enough that nothing can interleave with its
+        # timeline.  While batched, awaited subtasks are served fused
+        # (serve_solo returns the record directly, no event, no yield);
+        # otherwise the classic submit-and-yield path runs.
+        engine = self._engine
+        batched = engine is not None and engine.open()
+
         # Initial load: restore the model checkpoint if migrating, then
         # stream the memory-side input blocks from disk.
         load_seconds = 0.0
@@ -366,7 +398,10 @@ class GroupRuntime:
         memory_side_bytes = spec.input_gb * (1.0 - job.alpha) / m * 1024**3
         load_seconds += self.cost_model.disk.read_seconds(memory_side_bytes)
         if load_seconds > 0:
-            record_load = yield self.disk.submit(load_seconds, tag=job_id)
+            record_load = (self.disk.serve_solo(load_seconds, job_id)
+                           if batched else
+                           (yield self.disk.submit(load_seconds,
+                                                   tag=job_id)))
             if trace is not None:
                 self._trace_service("disk", job_id,
                                     "RESTORE+LOAD" if restore else "LOAD",
@@ -381,10 +416,13 @@ class GroupRuntime:
             cycle_start = self.sim.now
 
             # PULL subtask (network).
-            t_pull = (profile.t_pull * barrier * self._jitter(job_id)
+            t_pull = (profile.t_pull * barrier
+                      * jitter(jitter_name, jitter_cv)
                       * self._comm_interference()
                       * self._fault_net_factor)
-            record_pull = yield self.net.submit(t_pull, tag=job_id)
+            record_pull = (self.net.serve_solo(t_pull, job_id)
+                           if batched else
+                           (yield self.net.submit(t_pull, tag=job_id)))
             if trace is not None and t_pull > 0:
                 self._trace_service("net", job_id, "PULL", record_pull,
                                     "comm")
@@ -394,7 +432,17 @@ class GroupRuntime:
             stall = 0.0
             if reload_event is not None:
                 before = self.sim.now
-                reload_record = yield reload_event
+                if batched:
+                    # The reload ran in the background while the batch
+                    # skipped ahead; drain it here, where the reference
+                    # engine would block (its completion may lie behind
+                    # the warped clock — await_background restores
+                    # max(now, completion), like the real wait does).
+                    if not reload_event.triggered:
+                        engine.await_background(self.disk)
+                    reload_record = reload_event.value
+                else:
+                    reload_record = yield reload_event
                 stall = self.sim.now - before
                 if trace is not None:
                     self._trace_service("disk", job_id, "RELOAD",
@@ -406,10 +454,14 @@ class GroupRuntime:
 
             # COMP subtask (CPU), inflated by GC pressure.
             gc_factor = self.memory.gc_inflation()
-            t_comp_base = (profile.t_comp * barrier * self._jitter(job_id)
+            t_comp_base = (profile.t_comp * barrier
+                           * jitter(jitter_name, jitter_cv)
                            * self._fault_cpu_factor)
-            record_comp = yield self.cpu.submit(t_comp_base * gc_factor,
-                                                tag=job_id)
+            record_comp = (self.cpu.serve_solo(t_comp_base * gc_factor,
+                                               job_id)
+                           if batched else
+                           (yield self.cpu.submit(t_comp_base * gc_factor,
+                                                  tag=job_id)))
             if trace is not None:
                 self._trace_service("cpu", job_id, "COMP", record_comp,
                                     "comp")
@@ -418,10 +470,13 @@ class GroupRuntime:
             reload_event = self._submit_reload(job)
 
             # PUSH subtask (network).
-            t_push = (profile.t_push * barrier * self._jitter(job_id)
+            t_push = (profile.t_push * barrier
+                      * jitter(jitter_name, jitter_cv)
                       * self._comm_interference()
                       * self._fault_net_factor)
-            record_push = yield self.net.submit(t_push, tag=job_id)
+            record_push = (self.net.serve_solo(t_push, job_id)
+                           if batched else
+                           (yield self.net.submit(t_push, tag=job_id)))
             if trace is not None:
                 self._trace_service("net", job_id, "PUSH", record_push,
                                     "comm")
@@ -468,6 +523,12 @@ class GroupRuntime:
             if finished:
                 break
 
+        if batched:
+            # Park until the batch's end time arrives on the real event
+            # queue: terminal hooks (finish/pause bookkeeping, master
+            # re-scheduling) must run at real time, after every event
+            # the rest of the cluster has queued before then.
+            yield engine.close()
         if reload_event is not None:
             self.disk.cancel(reload_event)
         if finished:
@@ -556,6 +617,12 @@ class GroupRuntime:
         jobs that were running so the master can restart them from
         their last checkpoint.
         """
+        if self._engine is not None and self._engine.active:
+            # Inert masters never inject faults; a crash landing inside
+            # an open batch means the eligibility contract was violated.
+            raise SimulationError(
+                f"group {self.group_id} crashed inside an open "
+                f"fast-path batch")
         victims = list(self._jobs.values())
         for process in self._processes.values():
             process.kill()

@@ -156,6 +156,10 @@ class HarmonyMaster:
         self._estimate_cache: dict[tuple, GroupEstimate | None] = {}
         self.estimate_cache_hits = 0
         self.estimate_cache_misses = 0
+        # Feasibility floors are pure in the (immutable) job specs —
+        # memoized for the life of the master, unlike the estimate
+        # cache, which tracks live profiles.
+        self._memory_floor_cache: dict[tuple[str, ...], int] = {}
         # §IV-B1: a moving-average publish is exactly when memoized
         # estimates and plans stop matching what Algorithm 1 would
         # recompute — wire the profiler's listener hook to both caches.
@@ -975,6 +979,18 @@ class HarmonyMaster:
         """Smallest machine count where the given jobs co-locate near the
         target memory pressure, assuming maximal input spill (the
         scheduler's feasibility view, based on sampled sizes)."""
+        key = tuple(job_ids)
+        cached = self._memory_floor_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._memory_floor_uncached(job_ids)
+        self._memory_floor_cache[key] = result
+        return result
+
+    def _memory_floor_uncached(self, job_ids: Sequence[str]) -> int:
+        # Pure in the job specs: sizes, the cost model, and the config
+        # never change after submission, so the linear scan (a
+        # resident_bytes sum per candidate m) runs once per job set.
         budget = (self.cost_model.spec.usable_memory_bytes
                   * self.config.memory.target_pressure)
         spill = self.config.memory.spill_enabled

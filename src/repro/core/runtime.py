@@ -235,9 +235,16 @@ class HarmonyRuntime:
         """
         interval = self.config.scheduler.reschedule_check_seconds
         total = len(self.workload)
+        t0 = self.sim.now
+        tick = 0
         try:
             while True:
-                yield self.sim.timeout(interval)
+                # Closed form, not ``now + interval``: accumulating the
+                # float sum drifts the k-th tick off ``t0 + k * dt``,
+                # so long runs' check times would disagree between
+                # engines (and with Eq. 1 timeline predictions).
+                tick += 1
+                yield self.sim.at(t0 + tick * interval)
                 self.master.periodic_check()
                 if len(self.master.jobs) >= total and self.master.all_done:
                     return
@@ -267,6 +274,10 @@ class HarmonyRuntime:
         import time as _time
         # harmony: allow[DET001] wall_seconds measures real runtime of run() itself
         wall_start = _time.perf_counter()
+        if max_sim_seconds is not None or max_events is not None:
+            # Truncated runs must stop mid-job; a batch skipping past
+            # the horizon would diverge from the reference engine.
+            self.sim.fastpath_enabled = False
         for spec in self.workload:
             self.sim.call_at(spec.submit_time,
                              lambda s=spec: self.master.submit(s))

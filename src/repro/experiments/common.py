@@ -71,6 +71,9 @@ class SingleGroupResult:
 class _CollectingHooks:
     """Minimal GroupHooks that records terminal events."""
 
+    #: No per-iteration behaviour at all — fast-path eligible.
+    iteration_hooks_inert = True
+
     def __init__(self):
         self.finished: list[str] = []
         self.failed: list[tuple[str, Exception]] = []

@@ -67,8 +67,14 @@ class HealthMonitor:
         self._process = None
 
     def _run(self):
+        t0 = self.sim.now
+        tick = 0
         while True:
-            yield self.sim.timeout(self.interval)
+            # k-th sweep at t0 + k * interval in closed form — the
+            # accumulated ``now + interval`` alternative drifts off the
+            # exact boundary after enough sweeps (see sim.Simulator.at).
+            tick += 1
+            yield self.sim.at(t0 + tick * self.interval)
             now = self.sim.now
             for machine_id in self._last_beat:
                 if machine_id not in self._silenced:

@@ -16,7 +16,7 @@ from repro.sim.resources import (
     processor_sharing,
     serial,
 )
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import ScheduledCall, Simulator
 
 __all__ = [
     "AllOf",
@@ -26,6 +26,7 @@ __all__ = [
     "RandomStreams",
     "RatePolicy",
     "RateResource",
+    "ScheduledCall",
     "Simulator",
     "primary_secondary",
     "processor_sharing",

@@ -73,30 +73,43 @@ class Process(Event):
             self._step(None, event.value)
 
     def _step(self, value, exc) -> None:
-        if not self._alive:
+        while True:
+            if not self._alive:
+                return
+            try:
+                if exc is not None:
+                    target = self._generator.throw(exc)
+                else:
+                    target = self._generator.send(value)
+            except StopIteration as stop:
+                self._finish(ok=True, value=stop.value)
+                return
+            except ProcessKilled:
+                self._finish(ok=True, value=None)
+                return
+            except BaseException as error:  # noqa: BLE001 - via event
+                self._finish(ok=False, value=error)
+                return
+            if not isinstance(target, Event):
+                self._generator.close()
+                self._finish(ok=False, value=SimulationError(
+                    f"process {self.name!r} yielded "
+                    f"{type(target).__name__}, expected an Event"))
+                return
+            if target.triggered:
+                # Already-triggered target: resume in place instead of
+                # recursing through add_callback -> _on_wait_complete
+                # -> _step.  A long synchronous chain of ready events
+                # (zero-work subtasks, or a fast-path batch serving a
+                # whole job inline) would otherwise overflow the stack.
+                if target.ok:
+                    value, exc = target.value, None
+                else:
+                    value, exc = None, target.value
+                continue
+            self._waiting_on = target
+            target.add_callback(self._on_wait_complete)
             return
-        try:
-            if exc is not None:
-                target = self._generator.throw(exc)
-            else:
-                target = self._generator.send(value)
-        except StopIteration as stop:
-            self._finish(ok=True, value=stop.value)
-            return
-        except ProcessKilled:
-            self._finish(ok=True, value=None)
-            return
-        except BaseException as error:  # noqa: BLE001 - propagate via event
-            self._finish(ok=False, value=error)
-            return
-        if not isinstance(target, Event):
-            self._generator.close()
-            self._finish(ok=False, value=SimulationError(
-                f"process {self.name!r} yielded {type(target).__name__}, "
-                "expected an Event"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._on_wait_complete)
 
     def _finish(self, ok: bool, value) -> None:
         self._alive = False

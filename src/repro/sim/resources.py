@@ -154,6 +154,18 @@ class RateResource:
         self._tasks: list[_Task] = []
         self._last_update = sim.now
         self._wake_generation = 0
+        #: Handle of the queued wake-up (event-driven mode), so a
+        #: superseded or purged wake is retracted instead of left to
+        #: rot in the event queue.
+        self._wake_handle = None
+        #: Fast-path mode (:mod:`repro.sim.fastpath`): wake-ups are not
+        #: queued; their exact fire time is parked here for
+        #: :meth:`drain` to warp to.
+        self._autodrain = False
+        self._pending_wake_at: float | None = None
+        # Head-of-line service rate for a queue of one, memoized for
+        # serve_solo (policies are pure functions of the queue length).
+        self._solo_rate: float | None = None
         self._record_segments = record_segments
         # Observability: a gauge lane sampling the delivered service
         # level at every rate change (renders as a Perfetto counter
@@ -229,8 +241,14 @@ class RateResource:
         dropped = sum(max(t.work_remaining, 0.0) for t in self._tasks)
         self._tasks.clear()
         self.work_discarded += dropped
-        # Invalidate any scheduled wake-up for the old queue.
+        # Invalidate any scheduled wake-up for the old queue.  The
+        # generation bump alone would neutralize a stale wake, but the
+        # dead queue entry would still be popped later — retract it so
+        # a fault firing exactly on a step boundary leaves no trace.
         self._wake_generation += 1
+        self.sim.cancel(self._wake_handle)
+        self._wake_handle = None
+        self._pending_wake_at = None
         if self._level_gauge is not None:
             self._sample_level()
         return dropped
@@ -298,6 +316,12 @@ class RateResource:
         self._last_update = now
 
     def _append_segment(self, start: float, end: float, level: float) -> None:
+        if end - start <= 0.0:
+            # A zero-duration segment (a fault or seal landing exactly
+            # on a step boundary) carries no service; recording it
+            # would double-count the boundary instant in the
+            # conservation ledger once a later segment merges onto it.
+            return
         if len(self.segments) > self._segment_seal:
             last = self.segments[-1]
             if (abs(last.end - start) <= _EPSILON
@@ -308,6 +332,13 @@ class RateResource:
 
     def _reschedule(self) -> None:
         """Recompute the next completion and schedule a wake-up."""
+        # Supersede the previously queued wake instead of leaving a
+        # dead entry behind: the generation guard would ignore it, but
+        # stale entries cost queue traffic and would block fast-path
+        # clock warps across their fire times.
+        self.sim.cancel(self._wake_handle)
+        self._wake_handle = None
+        self._pending_wake_at = None
         self._wake_generation += 1
         generation = self._wake_generation
         # Pop any tasks that are already done (zero-work or finished
@@ -317,6 +348,22 @@ class RateResource:
             self._sample_level()
         if not self._tasks:
             return
+        horizon = self._next_horizon()
+        if horizon is None:
+            return  # everything is waiting (policy starves the queue)
+        when = self.sim.now + max(horizon, 0.0)
+        if self._autodrain:
+            # Fast path: the owning batch will drain() synchronously.
+            # Park the exact fire time the event-driven engine would
+            # have used, so the warped timeline stays bitwise equal.
+            self._pending_wake_at = when
+            return
+        self._wake_handle = self.sim.call_at(
+            when, lambda: self._on_wake(generation), cancellable=True)
+
+    def _next_horizon(self) -> float | None:
+        """Seconds until the earliest queued completion (None if
+        nothing is receiving service)."""
         rates = self.current_rates()
         horizon = None
         for task, rate in zip(self._tasks, rates, strict=True):
@@ -325,10 +372,136 @@ class RateResource:
             eta = task.work_remaining / rate
             if horizon is None or eta < horizon:
                 horizon = eta
-        if horizon is None:
-            return  # everything is waiting (policy starves the queue)
-        self.sim.call_in(max(horizon, 0.0),
-                         lambda: self._on_wake(generation))
+        return horizon
+
+    # -- fast path (repro.sim.fastpath) --------------------------------
+
+    def set_autodrain(self, enabled: bool) -> None:
+        """Enter/leave fast-path mode.  Entering keeps an already
+        queued wake-up where it is (:meth:`drain` absorbs it); leaving
+        must go through :meth:`rearm` instead, which re-queues the
+        parked wake."""
+        self._autodrain = enabled
+
+    def drain(self) -> None:
+        """Serve the queue to completion by warping the clock.
+
+        Replays exactly the wake-cycle float operations of the
+        event-driven path — advance, pop, gauge sample, next horizon —
+        in the same order, without queue round-trips.  Only a fast-path
+        batch that owns the simulator clock may call this.
+        """
+        if self._wake_handle is not None:
+            # A wake queued before the batch opened (e.g. a background
+            # reload already in flight): absorb it at its exact time.
+            self._pending_wake_at = self._wake_handle.when
+            self.sim.cancel(self._wake_handle)
+            self._wake_handle = None
+        while self._tasks:
+            when = self._pending_wake_at
+            if when is None:
+                return  # starved queue: nothing will ever complete
+            self.sim.warp(when)
+            self._advance()
+            self._reschedule()
+
+    def serve_solo(self, work: float, tag: str) -> ServiceRecord:
+        """Fused submit + drain for an empty autodrained resource.
+
+        The fast path's hot loop: one subtask on an otherwise idle
+        resource, served to completion in closed form, returning the
+        :class:`ServiceRecord` directly — no :class:`Event`, no
+        generator round-trip.  Performs the *identical float operations
+        in the identical order* as ``submit()`` followed by ``drain()``
+        — the ledger updates, segment merges, and the completion record
+        are bitwise equal (the differential suite pins the
+        equivalence).  Falls back to the generic pair whenever any
+        precondition is off.
+        """
+        head_rate = self._solo_rate
+        if head_rate is None:
+            rates = self._policy(1)
+            head_rate = self._solo_rate = rates[0] if rates else 0.0
+        if (not self._autodrain or self._tasks or work <= _EPSILON
+                or head_rate <= _EPSILON
+                or self._level_gauge is not None):
+            event = self.submit(work, tag=tag)
+            self.drain()
+            if not event.triggered:
+                raise ResourceError(
+                    f"fast path starved on {self.name!r}: the policy "
+                    f"serves the queue head at rate 0")
+            return event.value
+        sim = self.sim
+        now = sim._now
+        # submit(): an idle resource's _advance only moves the cursor
+        # (no tasks -> level 0, nothing served).
+        last = now
+        self.work_submitted += work
+        generation = self._wake_generation + 1
+        remaining = work
+        started: float | None = None
+        served_by_tag = self.served_by_tag
+        record_segments = self._record_segments
+        # drain(): each cycle jumps to the closed-form completion
+        # horizon and replays the reference wake's arithmetic.
+        while True:
+            when = last + max(remaining / head_rate, 0.0)
+            dt = when - last
+            if dt > _EPSILON:
+                level = min(1.0, 0 + head_rate)
+                if level > _EPSILON:
+                    self.busy_seconds += level * dt
+                    if record_segments:
+                        # _append_segment inlined (dt > 0 already rules
+                        # out the zero-duration guard): merge onto an
+                        # unsealed contiguous same-level segment, else
+                        # start a new one.
+                        segments = self.segments
+                        if len(segments) > self._segment_seal:
+                            prev = segments[-1]
+                            if (abs(prev.end - last) <= _EPSILON
+                                    and abs(prev.level - level) <= 1e-6):
+                                prev.end = when
+                            else:
+                                segments.append(
+                                    BusySegment(last, when, level))
+                        else:
+                            segments.append(
+                                BusySegment(last, when, level))
+                if started is None:
+                    started = last
+                delivered = min(remaining, head_rate * dt)
+                remaining -= delivered
+                self.work_served += delivered
+                served_by_tag[tag] = (
+                    served_by_tag.get(tag, 0.0) + delivered)
+            last = when
+            generation += 1
+            if remaining <= _EPSILON:
+                break
+        sim._now = when
+        self._last_update = when
+        self._wake_generation = generation
+        return ServiceRecord(
+            submitted_at=now,
+            started_at=started if started is not None else when,
+            finished_at=when, work=work)
+
+    def rearm(self) -> None:
+        """Leave fast-path mode, re-queueing the parked wake (if any).
+
+        Called when a batch closes with a task still in flight (a
+        background reload crossing the batch boundary): the wake
+        returns to the event queue at the exact parked time.
+        """
+        self._autodrain = False
+        when, self._pending_wake_at = self._pending_wake_at, None
+        if when is None or not self._tasks:
+            return
+        generation = self._wake_generation
+        self._wake_handle = self.sim.call_at(
+            when, lambda: self._on_wake(generation), cancellable=True)
 
     def _sample_level(self) -> None:
         """Record the delivered service level going forward from now."""

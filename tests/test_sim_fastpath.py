@@ -1,0 +1,391 @@
+"""Differential tests pinning the batched simulator fast path
+(:mod:`repro.sim.fastpath`) bitwise-equal to the per-event reference
+engine, plus regressions for the event-loop correctness sweep that
+rode along: deterministic event-tie ordering, closed-form step
+boundaries (no accumulated-float drift), and zero-duration segments
+when a fault fires exactly on a step boundary.
+
+Bitwise means bitwise: every comparison below is ``==`` or
+``np.array_equal`` — no tolerances.  The fast path runs the *same*
+generator code under a warped clock, so any difference at all is a
+bug, not noise.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import IsolatedRuntime, NaiveRuntime
+from repro.check import InvariantChecker, ScenarioGenerator, run_checked
+from repro.check.oracle import deterministic_config, step_boundaries
+from repro.config import DEFAULT_SIM_CONFIG, ExecutionConfig, SimConfig
+from repro.core.group_runtime import ExecutionMode, GroupRuntime
+from repro.core.job import Job, JobState
+from repro.errors import SimulationError
+from repro.experiments.common import _CollectingHooks
+from repro.sim import Event, RandomStreams, Simulator
+from repro.sim.fastpath import BatchStats, cycles_view, ledger_view
+from repro.workloads.costmodel import CostModel
+from repro.workloads.generator import WorkloadGenerator
+
+POOL = WorkloadGenerator(2021).base_workload(hyper_params_per_pair=1)
+
+
+def run_group(spec, mode, engine, config, m=4):
+    """One single-job group run to completion on the given engine."""
+    sim = Simulator()
+    cfg = config.with_engine(engine)
+    cost_model = CostModel(cfg.machine)
+    hooks = _CollectingHooks()
+    group = GroupRuntime(sim, "g", tuple(range(m)), mode, cost_model,
+                         cfg, RandomStreams(cfg.seed), hooks)
+    job = Job(spec)
+    job.state = JobState.RUNNING
+    group.add_job(job)
+    sim.run()
+    group.cpu.close_segments()
+    group.net.close_segments()
+    group.disk.close_segments()
+    return sim, group, hooks
+
+
+def segments_of(resource):
+    return [(s.start, s.end, s.level) for s in resource.segments]
+
+
+def assert_bitwise_equal(fast, ref):
+    """Every observable of the two runs must match exactly."""
+    sim_f, group_f, hooks_f = fast
+    sim_r, group_r, hooks_r = ref
+    assert sim_f.now == sim_r.now
+    assert hooks_f.finished == hooks_r.finished
+    assert hooks_f.failed == hooks_r.failed
+    assert np.array_equal(cycles_view(group_f.cycles),
+                          cycles_view(group_r.cycles))
+    for res_f, res_r in ((group_f.cpu, group_r.cpu),
+                         (group_f.net, group_r.net),
+                         (group_f.disk, group_r.disk)):
+        assert np.array_equal(ledger_view(res_f), ledger_view(res_r))
+        assert segments_of(res_f) == segments_of(res_r)
+
+
+class TestGroupDifferential:
+    """Fast engine vs reference engine on single-job groups."""
+
+    @pytest.mark.parametrize("mode", [ExecutionMode.HARMONY,
+                                      ExecutionMode.ISOLATED])
+    def test_workload_sweep_bitwise_equal(self, mode):
+        """Every base-workload app, with and without jitter."""
+        for config in (DEFAULT_SIM_CONFIG, deterministic_config(7)):
+            for spec in POOL:
+                spec = replace(spec, iterations=25, submit_time=0.0)
+                fast = run_group(spec, mode, "fast", config)
+                ref = run_group(spec, mode, "reference", config)
+                assert_bitwise_equal(fast, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec_index=st.integers(0, len(POOL) - 1),
+           iterations=st.integers(1, 30),
+           m=st.integers(2, 8),
+           jitter_cv=st.sampled_from([0.0, 0.02, 0.05]),
+           seed=st.integers(0, 2**16))
+    def test_random_workloads_bitwise_equal(self, spec_index,
+                                            iterations, m, jitter_cv,
+                                            seed):
+        """Hypothesis sweep over shapes, jitter, and rng seeds."""
+        spec = replace(POOL[spec_index], iterations=iterations,
+                       submit_time=0.0)
+        config = SimConfig(
+            seed=seed,
+            execution=ExecutionConfig(duration_jitter_cv=jitter_cv))
+        fast = run_group(spec, ExecutionMode.HARMONY, "fast", config, m)
+        ref = run_group(spec, ExecutionMode.HARMONY, "reference",
+                        config, m)
+        assert_bitwise_equal(fast, ref)
+
+    def test_conservation_invariants_hold_on_both_engines(self):
+        """The repro.check group invariants pass under either engine."""
+        checker = InvariantChecker()
+        spec = replace(POOL[0], iterations=10, submit_time=0.0)
+        for engine in ("fast", "reference"):
+            _, group, _ = run_group(spec, ExecutionMode.HARMONY,
+                                    engine, DEFAULT_SIM_CONFIG)
+            violations = []
+            checker.check_audit(group.audit(), violations)
+            assert violations == [], engine
+
+    def test_fast_engine_actually_batches(self):
+        """Guard against the fast path silently never engaging."""
+        spec = replace(POOL[0], iterations=10, submit_time=0.0)
+        _, group, _ = run_group(spec, ExecutionMode.HARMONY, "fast",
+                                DEFAULT_SIM_CONFIG)
+        stats = group._engine.stats
+        assert stats.n_batches >= 1
+        assert stats.batched_seconds > 0.0
+        assert int(stats.iterations.sum()) == 10
+
+    def test_reference_engine_never_batches(self):
+        spec = replace(POOL[0], iterations=5, submit_time=0.0)
+        _, group, _ = run_group(spec, ExecutionMode.HARMONY,
+                                "reference", DEFAULT_SIM_CONFIG)
+        assert group._engine is None
+
+    def test_multi_job_groups_stay_on_reference_path(self):
+        """Contending jobs interleave; the batch must refuse to open."""
+        specs = [replace(s, iterations=5, submit_time=0.0)
+                 for s in POOL[:2]]
+        sim = Simulator()
+        cfg = DEFAULT_SIM_CONFIG.with_engine("fast")
+        group = GroupRuntime(sim, "g", tuple(range(4)),
+                             ExecutionMode.HARMONY, CostModel(cfg.machine),
+                             cfg, RandomStreams(cfg.seed),
+                             _CollectingHooks())
+        for spec in specs:
+            job = Job(spec)
+            job.state = JobState.RUNNING
+            group.add_job(job)
+        sim.run()
+        assert group._engine.stats.n_batches == 0
+
+
+class TestBaselineDifferential:
+    """Whole baseline runs — many groups, queueing, backfill — must
+    come out identical under either engine."""
+
+    @pytest.mark.parametrize("make", [
+        lambda cfg: IsolatedRuntime(20, _workload(), config=cfg),
+        lambda cfg: NaiveRuntime(20, _workload(), config=cfg,
+                                 group_size=3, shuffle_seed=1),
+    ], ids=["isolated", "naive"])
+    def test_run_bitwise_equal(self, make):
+        results = {}
+        for engine in ("fast", "reference"):
+            cfg = DEFAULT_SIM_CONFIG.with_engine(engine)
+            runtime = make(cfg)
+            results[engine] = (runtime.run(), runtime.sim.now)
+        (fast, now_f), (ref, now_r) = results["fast"], results["reference"]
+        assert now_f == now_r
+        assert fast.makespan == ref.makespan
+        for job_id, outcome in fast.outcomes.items():
+            other = ref.outcomes[job_id]
+            assert outcome.state == other.state
+            assert outcome.finish_time == other.finish_time
+        assert np.array_equal(cycles_view(fast._all_cycles),
+                              cycles_view(ref._all_cycles))
+
+    def test_truncated_run_disables_fastpath(self):
+        runtime = IsolatedRuntime(20, _workload())
+        runtime.run(max_sim_seconds=50.0)
+        assert runtime.sim.fastpath_enabled is False
+
+
+def _workload():
+    return [replace(s, iterations=6) for s in POOL[:6]]
+
+
+class TestEngineConfig:
+    def test_engine_validated(self):
+        with pytest.raises(ValueError):
+            SimConfig(engine="vectorized")
+
+    def test_with_engine_round_trip(self):
+        cfg = DEFAULT_SIM_CONFIG.with_engine("reference")
+        assert cfg.engine == "reference"
+        assert DEFAULT_SIM_CONFIG.engine == "fast"
+
+    def test_crash_inside_batch_is_rejected(self):
+        """A fault delivered to a group mid-batch would corrupt the
+        warped clock; the runtime must refuse loudly, not silently."""
+        spec = replace(POOL[0], iterations=5, submit_time=0.0)
+        sim = Simulator()
+        cfg = DEFAULT_SIM_CONFIG.with_engine("fast")
+        group = GroupRuntime(sim, "g", tuple(range(4)),
+                             ExecutionMode.HARMONY, CostModel(cfg.machine),
+                             cfg, RandomStreams(cfg.seed),
+                             _CollectingHooks())
+        job = Job(spec)
+        job.state = JobState.RUNNING
+        group.add_job(job)
+        group._engine.active = True  # simulate an open batch
+        with pytest.raises(SimulationError):
+            group.crash()
+
+
+class TestBatchStats:
+    def test_struct_of_arrays_views(self):
+        stats = BatchStats()
+        stats.record(0.0, 10.0, 3)
+        stats.record(12.0, 30.0, 5)
+        assert stats.n_batches == 2
+        assert np.array_equal(stats.opened, [0.0, 12.0])
+        assert np.array_equal(stats.closed, [10.0, 30.0])
+        assert np.array_equal(stats.iterations, [3, 5])
+        assert stats.batched_seconds == 28.0
+
+    def test_cycles_view_empty(self):
+        assert cycles_view([]).shape == (0, 6)
+
+
+class TestEventTieOrdering:
+    """Satellite regression: same-timestamp events resolve by insertion
+    order via a monotonic creation counter — never ``id()``, whose
+    ordering varies run to run."""
+
+    def test_creation_order_is_monotonic(self, sim):
+        events = [Event(sim, name=f"e{i}") for i in range(64)]
+        orders = [e.order for e in events]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+    def test_lt_compares_creation_order(self, sim):
+        first = Event(sim)
+        second = Event(sim)
+        assert first < second
+        assert not second < first
+        assert Event.__lt__(first, object()) is NotImplemented
+
+    def test_sorting_ties_restores_insertion_order(self, sim):
+        events = [Event(sim, name=f"e{i}") for i in range(16)]
+        shuffled = list(reversed(events))
+        assert sorted(shuffled) == events
+
+    def test_same_time_timeouts_fire_in_scheduling_order(self, sim):
+        fired = []
+        for index in range(8):
+            event = sim.timeout(5.0, name=f"t{index}")
+            event.add_callback(
+                lambda e, index=index: fired.append(index))
+        sim.run()
+        assert fired == list(range(8))
+        assert sim.now == 5.0
+
+    def test_same_time_at_events_fire_in_scheduling_order(self, sim):
+        fired = []
+        for index in range(8):
+            sim.at(42.0, name=f"a{index}").add_callback(
+                lambda e, index=index: fired.append(index))
+        sim.run()
+        assert fired == list(range(8))
+
+
+class TestClosedFormBoundaries:
+    """Satellite regression: the k-th step boundary is ``t0 + k * dt``
+    in closed form — accumulating ``t += dt`` drifts off the exact
+    boundary after enough steps."""
+
+    N_STEPS = 10**6
+
+    def test_million_step_boundaries_exact(self):
+        t0, dt = 3.0, 0.1
+        bounds = step_boundaries(t0, self.N_STEPS, dt)
+        assert bounds.shape == (self.N_STEPS,)
+        # Spot-check bitwise equality with the scalar closed form.
+        for k in (1, 2, 999, 10**5, self.N_STEPS):
+            assert bounds[k - 1] == t0 + k * dt
+        # The accumulated alternative has drifted by now.
+        t = t0
+        for _ in range(1000):
+            t += dt
+        assert t != t0 + 1000 * dt
+
+    def test_million_step_periodic_process_stays_on_boundary(self):
+        """A pacer-style loop over ``sim.at`` lands on the closed-form
+        boundary bitwise, a million events deep."""
+        sim = Simulator()
+        t0, dt = 0.0, 0.1
+        n = self.N_STEPS
+        observed = {}
+
+        def pacer():
+            tick = 0
+            while tick < n:
+                tick += 1
+                yield sim.at(t0 + tick * dt)
+                if tick in (1, 10**3, 10**5, n):
+                    observed[tick] = sim.now
+
+        sim.spawn(pacer(), name="pacer")
+        sim.run()
+        for tick, now in observed.items():
+            assert now == t0 + tick * dt
+        assert sim.now == t0 + n * dt
+
+    def test_health_monitor_ticks_on_exact_boundaries(self):
+        from repro.cluster.cluster import Cluster
+        from repro.faults.monitor import HealthMonitor
+
+        class _Master:
+            def on_machine_failure(self, machine_id, fault_record=None):
+                pass
+
+        sim = Simulator()
+        cluster = Cluster(4, DEFAULT_SIM_CONFIG.machine)
+        monitor = HealthMonitor(sim, cluster, _Master(), interval=0.3)
+        monitor.start()
+        sim.run(until=30.0)
+        monitor.stop()
+        # The 100th sweep is at exactly 100 * 0.3, not the accumulated
+        # sum of a hundred 0.3s, which differs in the last ulp.
+        assert sim.now == 30.0
+
+
+class TestZeroDurationSegments:
+    """Satellite regression: a fault firing exactly on a step boundary
+    must not leave a zero-duration segment (it double-counted in the
+    conservation ledger)."""
+
+    def _resource(self, sim):
+        from repro.sim.resources import RateResource, serial
+        return RateResource(sim, serial(), name="cpu",
+                            record_segments=True)
+
+    def test_append_zero_duration_segment_is_dropped(self, sim):
+        resource = self._resource(sim)
+        resource._append_segment(5.0, 5.0, 1.0)
+        assert resource.segments == []
+        resource._append_segment(5.0, 4.0, 1.0)  # negative: clock bug
+        assert resource.segments == []
+
+    def test_purge_on_exact_completion_boundary(self, sim):
+        """Serve 10s of work, then purge at exactly t=10 with a fresh
+        task queued: no zero-duration segment, ledger balanced."""
+        resource = self._resource(sim)
+        resource.submit(10.0, tag="a")
+        sim.run()
+        assert sim.now == 10.0
+        resource.submit(3.0, tag="b")
+        resource.purge()  # the fault, exactly on the boundary
+        resource.close_segments()
+        assert all(s.end > s.start for s in resource.segments)
+        busy = sum((s.end - s.start) * s.level
+                   for s in resource.segments)
+        assert busy == resource.busy_seconds
+        assert resource.work_submitted == pytest.approx(
+            resource.work_served + resource.work_discarded)
+
+    def test_close_segments_on_boundary_is_idempotent(self, sim):
+        resource = self._resource(sim)
+        resource.submit(4.0, tag="a")
+        sim.run()
+        resource.close_segments()
+        before = segments_of(resource)
+        resource.close_segments()
+        resource.close_segments()
+        assert segments_of(resource) == before
+        assert all(s.end > s.start for s in resource.segments)
+
+    def test_scenario_with_faults_stays_invariant_clean(self):
+        """End-to-end: a generated scenario with a fault plan passes
+        the full repro.check invariant suite (fault times can land
+        exactly on step boundaries via the generated plans)."""
+        scenario = None
+        for seed in range(50):
+            candidate = ScenarioGenerator(seed).generate()
+            if candidate.fault_plan is not None:
+                scenario = candidate
+                break
+        assert scenario is not None
+        run = run_checked(scenario)
+        assert run.violations == []
