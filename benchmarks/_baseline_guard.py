@@ -1,0 +1,72 @@
+"""Shared engine of the committed-baseline timing guards.
+
+``check_sim_baseline.py`` and ``check_sched_baseline.py`` are thin
+wrappers over :func:`run_guard`: read a pytest-benchmark JSON, compare
+every timing named in the committed baseline file against its budget,
+and fail — exit code 1 — when any exceeds ``max_ratio`` times the
+budget.  Timings are addressed as ``<benchmark-name>.mean`` (the
+harness's measured mean seconds) or
+``<benchmark-name>.extra_info.<key>`` (a value the benchmark recorded
+via ``benchmark.extra_info``).
+
+The baselines are intentionally generous (CI-runner-scale numbers):
+the guards exist to catch real regressions — a fast path decaying back
+toward recompute-everything cost — not to police machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+
+def resolve(benchmarks: list[dict], spec: str) -> float:
+    """Look one ``<name>.mean`` / ``<name>.extra_info.<key>`` timing up."""
+    name, _, field = spec.partition(".")
+    for bench in benchmarks:
+        if bench["name"] != name:
+            continue
+        if field == "mean":
+            return float(bench["stats"]["mean"])
+        if field.startswith("extra_info."):
+            return float(bench["extra_info"][
+                field[len("extra_info."):]])
+        raise SystemExit(f"unsupported timing field in {spec!r}")
+    raise SystemExit(f"benchmark {name!r} missing from the results — "
+                     f"was it removed from bench-smoke?")
+
+
+def run_guard(baseline_file: str, label: str,
+              argv: list[str]) -> int:
+    """Check one committed baseline against a benchmark results file.
+
+    ``baseline_file`` is resolved relative to this directory; ``label``
+    names the guard in the failure summary (e.g. ``"simulator"``).
+    """
+    results_path = argv[1] if len(argv) > 1 else "bench.json"
+    here = pathlib.Path(__file__).resolve().parent
+    baseline = json.loads((here / baseline_file).read_text())
+    with open(results_path) as handle:
+        benchmarks = json.load(handle)["benchmarks"]
+
+    max_ratio = float(baseline["max_ratio"])
+    failures: list[str] = []
+    for spec, budget in baseline["timings"].items():
+        measured = resolve(benchmarks, spec)
+        limit = float(budget) * max_ratio
+        verdict = "FAIL" if measured > limit else "ok"
+        print(f"{verdict:4s} {spec}: {measured:.3f}s "
+              f"(baseline {budget}s, limit {limit:.3f}s)")
+        if measured > limit:
+            failures.append(
+                f"{spec} measured {measured:.3f}s > limit "
+                f"{limit:.3f}s ({budget}s baseline x {max_ratio})")
+    if failures:
+        # Name every breaching benchmark with its numbers so the CI
+        # log's last lines say exactly what regressed and by how much.
+        print(f"{label} timing regression ({len(failures)} "
+              f"benchmark(s) over budget):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0

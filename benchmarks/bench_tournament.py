@@ -1,0 +1,42 @@
+"""Policy tournament: the full registry round-robin (repro.policies).
+
+Runs the default seeded tournament — every registered policy across
+arrival patterns x cluster sizes x both simulation engines, with the
+repro.check invariant harness on — and asserts the results are healthy:
+no invariant violations, engines bitwise-agree, Harmony beats the
+uncoordinated baselines, and the leaderboard ordering matches the
+committed ``benchmarks/baseline_tournament.json``.
+"""
+
+import json
+import pathlib
+
+from repro.experiments import tournament
+
+
+def test_tournament_round_robin(once, benchmark):
+    result = once(tournament.run)
+    print()
+    print(tournament.report(result))
+    benchmark.extra_info["n_runs"] = len(result.cells)
+    benchmark.extra_info["ordering"] = " > ".join(result.ordering())
+
+    # Every cell ran under the invariant harness; nothing may trip it,
+    # and the fast engine must reproduce the reference bit for bit.
+    assert result.n_violations == 0
+    assert result.engine_disagreements == ()
+
+    # The paper's headline: coordination wins.  Harmony must beat the
+    # uncoordinated co-location and the plain queueing disciplines on
+    # normalized mean JCT.
+    scores = {row.policy: row.jct_score for row in result.leaderboard}
+    assert scores["harmony"] < scores["naive"]
+    assert scores["harmony"] < scores["fcfs"]
+    assert scores["harmony"] < scores["isolated"]
+
+    # The committed leaderboard is the reproducibility contract: the
+    # same seed must yield the same ordering on every machine.
+    expect = json.loads(
+        (pathlib.Path(__file__).resolve().parent
+         / "baseline_tournament.json").read_text())
+    assert list(result.ordering()) == expect["ordering"]

@@ -2,65 +2,26 @@
 
 Reads a pytest-benchmark JSON (``bench.json``) and fails — exit code
 1 — when any timing named in ``benchmarks/baseline_sim.json`` exceeds
-its committed baseline by more than ``max_ratio`` (2x by default).
-Timings are addressed as ``<benchmark-name>.extra_info.<key>`` (a value
-the benchmark recorded via ``benchmark.extra_info``) or
-``<benchmark-name>.mean`` (the harness's measured mean seconds).
+its committed baseline by more than ``max_ratio`` (2x by default),
+naming each breaching benchmark with its measured-vs-limit numbers.
 
 Usage::
 
     python benchmarks/check_sim_baseline.py bench.json
 
-The baseline is intentionally generous (CI-runner-scale numbers): the
-guard exists to catch the batched engine regressing back toward
-per-event cost — or the whole Fig. 10 pipeline slowing down — not to
-police machine noise.
+Shared engine (timing addressing, budgets, failure reporting):
+``benchmarks/_baseline_guard.py``.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
 import sys
 
-
-def resolve(benchmarks: list[dict], spec: str) -> float:
-    name, _, field = spec.partition(".")
-    for bench in benchmarks:
-        if bench["name"] != name:
-            continue
-        if field == "mean":
-            return float(bench["stats"]["mean"])
-        if field.startswith("extra_info."):
-            return float(bench["extra_info"][
-                field[len("extra_info."):]])
-        raise SystemExit(f"unsupported timing field in {spec!r}")
-    raise SystemExit(f"benchmark {name!r} missing from the results — "
-                     f"was it removed from bench-smoke?")
+from _baseline_guard import run_guard
 
 
 def main(argv: list[str]) -> int:
-    results_path = argv[1] if len(argv) > 1 else "bench.json"
-    here = pathlib.Path(__file__).resolve().parent
-    baseline = json.loads((here / "baseline_sim.json").read_text())
-    with open(results_path) as handle:
-        benchmarks = json.load(handle)["benchmarks"]
-
-    max_ratio = float(baseline["max_ratio"])
-    failures = []
-    for spec, budget in baseline["timings"].items():
-        measured = resolve(benchmarks, spec)
-        limit = float(budget) * max_ratio
-        verdict = "FAIL" if measured > limit else "ok"
-        print(f"{verdict:4s} {spec}: {measured:.3f}s "
-              f"(baseline {budget}s, limit {limit:.3f}s)")
-        if measured > limit:
-            failures.append(spec)
-    if failures:
-        print(f"simulator timing regression: {', '.join(failures)} "
-              f"exceeded {max_ratio}x the committed baseline")
-        return 1
-    return 0
+    return run_guard("baseline_sim.json", "simulator", argv)
 
 
 if __name__ == "__main__":

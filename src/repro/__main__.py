@@ -68,6 +68,9 @@ SUBCOMMANDS = {
     "lint": ("repro.analysis.cli",
              "harmonylint determinism & simulation-safety static "
              "analyzer (repro.analysis)"),
+    "tournament": ("repro.experiments.tournament",
+                   "round-robin scheduler tournament over the policy "
+                   "registry (repro.policies)"),
 }
 
 

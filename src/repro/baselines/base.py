@@ -1,10 +1,20 @@
-"""Shared queue-driven runtime for the baseline schedulers.
+"""Shared queue-driven runtime for the pluggable scheduling policies.
 
-Both baselines admit jobs from a FIFO queue (with backfill — a job
-whose machine demand does not fit is skipped in favour of later jobs
-that do, standard in cluster managers) and run them on dedicated
-machine sets until completion.  What differs is the co-location degree
-and the execution discipline (:class:`~repro.core.group_runtime.ExecutionMode`).
+:class:`BaselineMaster` owns the queue, the cluster ledger and the
+demand/metrics oracles; *which* queued jobs start, grouped how, is
+delegated to a :class:`~repro.policies.base.SchedulingPolicy`.  The
+master observes (queue, free machines, running groups), the policy
+decides (:class:`~repro.policies.base.PolicyDecision`), and the master
+applies the starts and re-asks until a pass makes no progress.
+
+The historical baselines are one policy family at fixed parameters:
+FIFO + demand-skip backfill packing up to ``group_size`` jobs
+(:func:`repro.policies.queueing.packed_fifo`) — the default policy
+transcribes the pre-refactor admission scan exactly, and the
+differential tests pin naive/isolated outcomes bitwise-equal to it.
+What differs between registry entries beyond the policy is the
+execution discipline
+(:class:`~repro.core.group_runtime.ExecutionMode`).
 """
 
 from __future__ import annotations
@@ -13,13 +23,23 @@ import itertools
 import time as _time
 from collections.abc import Sequence
 
+from repro.check.oracle import exact_metrics
 from repro.cluster.cluster import Cluster
 from repro.config import DEFAULT_SIM_CONFIG, SimConfig
 from repro.core.group_runtime import ExecutionMode, GroupRuntime
 from repro.core.job import Job, JobState
+from repro.core.perfmodel import PerfModel
+from repro.core.profiler import JobMetrics
 from repro.core.runtime import JobOutcome, RunResult
 from repro.errors import SchedulingError, SimulationError
 from repro.metrics.utilization import ClusterUsageRecorder
+from repro.policies.base import (
+    PolicyDecision,
+    PolicyObservation,
+    RunningGroupView,
+    SchedulingPolicy,
+)
+from repro.policies.queueing import packed_fifo
 from repro.sim import RandomStreams, Simulator
 from repro.workloads.apps import JobSpec
 from repro.workloads.costmodel import CostModel
@@ -30,12 +50,12 @@ MAX_DOP = 32
 
 
 class BaselineMaster:
-    """FIFO + backfill admission onto dedicated machine groups."""
+    """Queue-driven admission onto dedicated machine groups."""
 
-    #: Baselines neither profile nor pause: ``on_iteration`` is a no-op
-    #: and groups are only ever created, never mutated while running —
-    #: the contract that lets the fast path batch their groups
-    #: (:mod:`repro.sim.fastpath`).
+    #: Queue policies neither profile nor pause: ``on_iteration`` is a
+    #: no-op and groups are only ever created, never mutated while
+    #: running — the contract that lets the fast path batch their
+    #: groups (:mod:`repro.sim.fastpath`).
     iteration_hooks_inert = True
 
     def __init__(self, sim: Simulator, cluster: Cluster,
@@ -45,7 +65,8 @@ class BaselineMaster:
                  shuffle_seed: int | None = None,
                  dop_scale: float = 1.0,
                  backfill: bool = True,
-                 colocate_only_if_fits: bool = False):
+                 colocate_only_if_fits: bool = False,
+                 policy: SchedulingPolicy | None = None):
         if group_size < 1:
             raise SchedulingError(f"group_size must be >= 1, "
                                   f"got {group_size}")
@@ -64,9 +85,20 @@ class BaselineMaster:
         #: §V-C ablation's "subtasks only" stage, where co-location is
         #: available but data spilling is not).
         self.colocate_only_if_fits = colocate_only_if_fits
+        #: The admission brain; the legacy constructor parameters are
+        #: exactly the default policy's parameters.
+        self.policy: SchedulingPolicy = policy if policy is not None \
+            else packed_fifo(group_size=group_size, backfill=backfill,
+                             colocate_only_if_fits=colocate_only_if_fits)
         self.jobs: dict[str, Job] = {}
         self.groups: dict[str, GroupRuntime] = {}
         self.finished_cycles: list = []
+        #: Final conservation snapshots of torn-down groups, for
+        #: :mod:`repro.check` (live groups are audited on demand).
+        self.group_audits: list = []
+        #: Queue masters never roll work back; the ledger exists so the
+        #: invariant checker consumes every runtime uniformly.
+        self.rolled_back_iterations: dict[str, int] = {}
         self._queue: list[str] = []
         self._group_ids = itertools.count()
         # machines_for/_memory_floor are pure in the batch's specs (the
@@ -75,6 +107,13 @@ class BaselineMaster:
         # scan over resident_bytes dominating baseline wall time.
         self._machines_cache: dict[tuple[str, ...], int] = {}
         self._floor_cache: dict[tuple[str, ...], int] = {}
+        self._metrics_cache: dict[tuple[str, int], JobMetrics] = {}
+        #: Eq. 1 model for the running-group release predictions the
+        #: reservation-backfill policies observe.
+        self._perf_model = PerfModel(
+            cpu_weight=config.scheduler.cpu_weight)
+        #: group_id -> predicted machine-release time, frozen at start.
+        self._release_predictions: dict[str, float] = {}
         self._shuffle_rng = None
         if shuffle_seed is not None:
             import numpy as np
@@ -100,7 +139,7 @@ class BaselineMaster:
     def all_done(self) -> bool:
         return all(job.is_done for job in self.jobs.values())
 
-    # -- policies ---------------------------------------------------------------
+    # -- demand / metrics oracles -----------------------------------------------
 
     def machines_for(self, specs: Sequence[JobSpec]) -> int:
         """Dedicated machine count for a (possibly co-located) job set.
@@ -140,9 +179,9 @@ class BaselineMaster:
     def _memory_floor(self, specs: Sequence[JobSpec]) -> int:
         """Smallest DoP at which the jobs fit.
 
-        Baseline modes do not spill (alpha = 0); when a spill ratio is
-        forced through the config (the ablation's static-spill stages),
-        the floor honours it.
+        Uncoordinated modes do not spill (alpha = 0); when a spill
+        ratio is forced through the config (the ablation's static-spill
+        stages), the floor honours it.
         """
         key = tuple(spec.job_id for spec in specs)
         cached = self._floor_cache.get(key)
@@ -165,52 +204,132 @@ class BaselineMaster:
         self._floor_cache[key] = floor
         return floor
 
+    def _specs_of(self, job_ids: tuple[str, ...]) -> list[JobSpec]:
+        return [self.jobs[job_id].spec for job_id in job_ids]
+
+    def _demand_for_ids(self, job_ids: tuple[str, ...]) -> int:
+        return self.machines_for(self._specs_of(job_ids))
+
+    def _floor_for_ids(self, job_ids: tuple[str, ...]) -> int:
+        return self._memory_floor(self._specs_of(job_ids))
+
+    def _dominated_for_ids(self, job_ids: tuple[str, ...],
+                           wanted: int) -> bool:
+        return self._memory_dominated(self._specs_of(job_ids), wanted)
+
+    def _metrics_at(self, job_id: str, m: int) -> JobMetrics:
+        """Exact (cost-model) metrics, as the profiler would converge."""
+        key = (job_id, m)
+        cached = self._metrics_cache.get(key)
+        if cached is None:
+            cached = exact_metrics(self.cost_model,
+                                   self.jobs[job_id].spec, m)
+            self._metrics_cache[key] = cached
+        return cached
+
+    def _remaining_iterations(self, job_id: str) -> int:
+        return self.jobs[job_id].remaining_iterations
+
+    def _solo_seconds(self, job_id: str, m: int) -> float:
+        """Closed-form solo runtime of the remaining iterations (Eq. 1)."""
+        metrics = self._metrics_at(job_id, m)
+        return self.jobs[job_id].remaining_iterations \
+            * metrics.t_iteration_at(m)
+
+    def _running_views(self) -> tuple[RunningGroupView, ...]:
+        """Live groups with Eq. 1 release predictions, sorted by id.
+
+        The release prediction is frozen at group start (see
+        ``_start``), *not* recomputed from live iteration counters: the
+        batched fast path advances ``remaining_iterations`` in bulk, so
+        observing it mid-run would make policy decisions depend on the
+        simulation engine.
+        """
+        views = []
+        for group_id in sorted(self.groups):
+            group = self.groups[group_id]
+            jobs = group.jobs()
+            if not jobs:
+                continue
+            views.append(RunningGroupView(
+                group_id=group_id,
+                job_ids=tuple(job.job_id for job in jobs),
+                n_machines=group.n_machines,
+                predicted_release=self._release_predictions.get(
+                    group_id, self.sim.now)))
+        return tuple(views)
+
     # -- admission --------------------------------------------------------------
 
-    def _pump(self) -> None:
-        """Admit queued jobs while machines allow (FIFO + backfill)."""
-        progress = True
-        while progress:
-            progress = False
-            index = 0
-            while index < len(self._queue):
-                started = False
-                # A batch whose memory floor exceeds the cluster (model
-                # caches stack per machine) shrinks until it fits.
-                for size in range(self.group_size, 0, -1):
-                    batch_ids = self._queue[index:index + size]
-                    batch = [self.jobs[jid] for jid in batch_ids]
-                    specs = [j.spec for j in batch]
-                    wanted = self.machines_for(specs)
-                    if wanted > self.cluster.size:
-                        continue
-                    if (self.colocate_only_if_fits and size > 1
-                            and self._memory_dominated(specs, wanted)):
-                        continue  # co-location would be memory-driven
-                    if wanted <= self.cluster.n_free:
-                        del self._queue[index:index + size]
-                        self._start(batch, wanted)
-                        progress = True
-                        started = True
-                    break
-                if not started:
-                    if not self.backfill:
-                        return  # strict FIFO: head-of-line blocks
-                    # Backfill: try a later batch.
-                    index += self.group_size
+    def _observe(self) -> PolicyObservation:
+        return PolicyObservation(
+            now=self.sim.now,
+            cluster_size=self.cluster.size,
+            n_free=self.cluster.n_free,
+            queue=tuple(self._queue),
+            batch_demand=self._demand_for_ids,
+            memory_floor=self._floor_for_ids,
+            memory_dominated=self._dominated_for_ids,
+            metrics_at=self._metrics_at,
+            remaining_iterations=self._remaining_iterations,
+            solo_seconds=self._solo_seconds,
+            running=self._running_views)
 
-    def _start(self, batch: Sequence[Job], n_machines: int) -> None:
+    def _pump(self) -> None:
+        """Ask the policy for admission passes until one makes no
+        progress (the policy sees the post-start cluster each time)."""
+        while True:
+            decision = self.policy.decide(self._observe())
+            if not decision.starts or not self._apply(decision):
+                return
+
+    def _apply(self, decision: PolicyDecision) -> bool:
+        """Start every applicable group of a decision, in order.
+
+        A start referencing jobs no longer queued, or machines no
+        longer free, is skipped (policies reason about a snapshot; the
+        master owns the ledger) — skipping everything ends the pump.
+        """
+        applied = False
+        queued = set(self._queue)
+        for start in decision.starts:
+            ids = start.job_ids
+            if len(set(ids)) != len(ids) \
+                    or any(job_id not in queued for job_id in ids):
+                continue
+            if start.n_machines > self.cluster.n_free:
+                continue
+            for job_id in ids:
+                self._queue.remove(job_id)
+                queued.discard(job_id)
+            batch = [self.jobs[job_id] for job_id in ids]
+            self._start(batch, start.n_machines, start.start_offsets)
+            applied = True
+        return applied
+
+    def _start(self, batch: Sequence[Job], n_machines: int,
+               start_offsets: Sequence[float] | None = None) -> None:
         group_id = f"b{next(self._group_ids)}"
         machine_ids = self.cluster.allocate(n_machines, group_id)
         group = GroupRuntime(self.sim, group_id, machine_ids, self.mode,
                              self.cost_model, self.config, self.streams,
                              hooks=self)
         self.groups[group_id] = group
+        # Freeze the Eq. 1 release prediction now, from decision-time
+        # state only, so later observations are engine-independent.
+        estimate = self._perf_model.estimate_group(
+            [self._metrics_at(job.job_id, n_machines) for job in batch],
+            n_machines)
+        remaining = max(job.remaining_iterations for job in batch)
+        self._release_predictions[group_id] = \
+            self.sim.now + remaining * estimate.t_group_iteration
         self.recorder.group_started(group_id, n_machines, self.sim.now,
                                     group.cpu, group.net)
-        for job in batch:
-            job.state = JobState.RUNNING  # baselines have no profiling
-            if not group.add_job(job):
+        for index, job in enumerate(batch):
+            job.state = JobState.RUNNING  # queue policies do not profile
+            delay = (start_offsets[index] if start_offsets is not None
+                     else 0.0)
+            if not group.add_job(job, start_delay=delay):
                 # No spill support: the job physically does not fit.
                 job.state = JobState.FAILED
                 job.finish_time = self.sim.now
@@ -218,7 +337,7 @@ class BaselineMaster:
     # -- GroupHooks ----------------------------------------------------------------
 
     def on_iteration(self, job: Job, group: GroupRuntime) -> None:
-        pass  # baselines do not profile
+        pass  # queue policies do not profile
 
     def on_job_finished(self, job: Job, group: GroupRuntime) -> None:
         job.transition(JobState.FINISHED)
@@ -240,14 +359,16 @@ class BaselineMaster:
     def _teardown_if_idle(self, group: GroupRuntime) -> None:
         if group.is_idle and group.group_id in self.groups:
             del self.groups[group.group_id]
+            self._release_predictions.pop(group.group_id, None)
             group.stop()
+            self.group_audits.append(group.audit())
             self.finished_cycles.extend(group.cycles)
             self.recorder.group_stopped(group.group_id, self.sim.now)
             self.cluster.release_all(group.group_id)
 
 
 class BaselineRuntime:
-    """Drives one baseline end-to-end; mirrors
+    """Drives one queue policy end-to-end; mirrors
     :class:`~repro.core.runtime.HarmonyRuntime`."""
 
     def __init__(self, n_machines: int, workload: Sequence[JobSpec],
@@ -258,7 +379,8 @@ class BaselineRuntime:
                  dop_scale: float = 1.0,
                  backfill: bool = True,
                  colocate_only_if_fits: bool = False,
-                 cost_model: CostModel | None = None):
+                 cost_model: CostModel | None = None,
+                 policy: SchedulingPolicy | None = None):
         self.config = config
         self.sim = Simulator()
         self.cluster = Cluster(n_machines, config.machine)
@@ -275,7 +397,8 @@ class BaselineRuntime:
                                      dop_scale=dop_scale,
                                      backfill=backfill,
                                      colocate_only_if_fits=(
-                                         colocate_only_if_fits))
+                                         colocate_only_if_fits),
+                                     policy=policy)
         self.workload = list(workload)
         self.name = name
 

@@ -171,6 +171,28 @@ class ExecutionConfig:
 
 
 @dataclass(frozen=True)
+class PolicyConfig:
+    """Constants of the competitor policy zoo (:mod:`repro.policies`).
+
+    These parameterize the *non-Harmony* schedulers of the tournament;
+    Harmony's own constants stay in :class:`SchedulerConfig`.
+    """
+
+    #: DoP scale of the queueing family's dedicated allocations
+    #: (fcfs/easy/conservative); mirrors the isolated baseline so the
+    #: backfill disciplines are compared apples-to-apples.
+    queue_dop_scale: float = 0.50
+    #: Co-location cap of the packing/interleaving policies.
+    max_group_jobs: int = 4
+    #: Synergy: minimum weighted-utilization gain (Eq. 3 score) before
+    #: a candidate is packed into the group.
+    pack_gain_threshold: float = 0.02
+    #: CASSINI: minimum phase compatibility (``t_itr_max / T_g_itr``,
+    #: 1.0 = perfectly job-bound interleave) to accept a partner.
+    interleave_compat_threshold: float = 0.85
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Top-level simulation configuration."""
 
@@ -179,6 +201,8 @@ class SimConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Competitor-policy constants (:mod:`repro.policies`).
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
     #: Width of utilization-timeline bins, in seconds (the paper measures
     #: with a 1-minute interval, §V-B).
     utilization_bin_seconds: float = 60.0

@@ -274,12 +274,17 @@ class GroupRuntime:
             else self.ledger.resident_bytes
         return minimal_existing + minimal_new <= budget
 
-    def add_job(self, job: Job, restore: bool = False) -> bool:
+    def add_job(self, job: Job, restore: bool = False,
+                start_delay: float = 0.0) -> bool:
         """Admit a job and start executing it.
 
         ``restore`` charges the §IV-B4 resume path: the model partition
         is read back from its checkpoint before iterations resume (input
         reloading happens through the normal initial-load path).
+        ``start_delay`` holds the job's first PULL back by that many
+        simulated seconds — the phase-offset stagger the interleaving
+        policies plan with (the job is a group member immediately; only
+        its pipeline entry is delayed).
         Returns False when the job does not fit in this group's memory.
         """
         if job.job_id in self._jobs:
@@ -289,12 +294,15 @@ class GroupRuntime:
             raise SimulationError(
                 f"job {job.job_id} is still a member of group "
                 f"{job.group_id}; cannot also join {self.group_id}")
+        if start_delay < 0:
+            raise SimulationError(
+                f"job {job.job_id}: negative start_delay {start_delay}")
         if not self.memory.admit(job):
             return False
         self._jobs[job.job_id] = job
         job.group_id = self.group_id
         self._processes[job.job_id] = self.sim.spawn(
-            self._job_process(job, restore),
+            self._job_process(job, restore, start_delay),
             name=f"{self.group_id}/{job.job_id}")
         return True
 
@@ -355,7 +363,12 @@ class GroupRuntime:
 
     # -- job execution ---------------------------------------------------------------
 
-    def _job_process(self, job: Job, restore: bool):
+    def _job_process(self, job: Job, restore: bool,
+                     start_delay: float = 0.0):
+        if start_delay > 0:
+            # Planned phase offset: enter the pipeline late so this
+            # job's COMM bursts land in its partners' COMP gaps.
+            yield self.sim.at(self.sim.now + start_delay)
         job_id = job.job_id
         spec = job.spec
         m = self.n_machines

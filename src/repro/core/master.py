@@ -82,6 +82,22 @@ def _busy_fraction(resource: RateResource, t_start: float,
     return busy / span
 
 
+class _SchedulerPlanner:
+    """Default planner: forwards to the master's ``HarmonyScheduler``.
+
+    Structurally identical to
+    :class:`repro.policies.planner.SchedulerPlanner`; duplicated here
+    because this module must not import :mod:`repro.policies` (the
+    policy registry imports the runtimes, which import this master).
+    """
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+
+    def plan(self, jobs, total_machines):
+        return self.scheduler.schedule(jobs, total_machines)
+
+
 class HarmonyMaster:
     """Scheduling brain bound to a simulator and a cluster."""
 
@@ -91,6 +107,7 @@ class HarmonyMaster:
                  recorder: ClusterUsageRecorder,
                  perf_model: PerfModel | None = None,
                  scheduler_factory=None,
+                 planner=None,
                  fault_log: FaultLog | None = None):
         self.sim = sim
         self.cluster = cluster
@@ -108,6 +125,14 @@ class HarmonyMaster:
         self.scheduler = scheduler_factory(
             perf_model=self.perf_model, config=config.scheduler,
             memory_floor=self._memory_floor)
+        # Planner seam (repro.policies.planner.PlannerPolicy): every
+        # observe->plan step goes through ``self.planner.plan(...)``, so
+        # alternative planners inject without subclassing the master.
+        # The default adapter is defined inline (_SchedulerPlanner)
+        # because importing repro.policies here would cycle back through
+        # the registry into this module.
+        self.planner = planner if planner is not None \
+            else _SchedulerPlanner(self.scheduler)
         # Observability (repro.trace): scheduler decisions land on a
         # dedicated "master" lane as instant events; None when tracing
         # is off so decision paths pay one attribute check.
@@ -446,7 +471,7 @@ class HarmonyMaster:
         pool += self._paused_metrics()
         if not pool:
             return
-        plan = self.scheduler.schedule(pool, budget)
+        plan = self.planner.plan(pool, budget)
         if plan is None:
             return
         current_estimates = []
@@ -659,7 +684,7 @@ class HarmonyMaster:
                       + self.cluster.n_free)
             if budget < 1:
                 continue
-            plan = self.scheduler.schedule(pool, budget)
+            plan = self.planner.plan(pool, budget)
             if plan is None:
                 continue
             score = self._score_plan_with_rest(plan, exclude=scope_ids)
@@ -686,7 +711,7 @@ class HarmonyMaster:
         paused = self._paused_metrics()
         if free < 1 or not paused:
             return
-        plan = self.scheduler.schedule(paused, free)
+        plan = self.planner.plan(paused, free)
         if plan is None:
             return
         for group_plan in plan.groups:

@@ -35,8 +35,11 @@ from repro.core.profiler import JobMetrics, MetricsView
 from repro.errors import SchedulingError
 
 #: DoP at which jobs are ordered before the prefix loop (the paper's
-#: characterization DoP; the ordering only needs to be stable).
-_ORDERING_DOP = 16
+#: characterization DoP; the ordering only needs to be stable).  Public
+#: because the policy zoo characterizes queued jobs at the same DoP
+#: (:mod:`repro.policies.planner`).
+ORDERING_DOP = 16
+_ORDERING_DOP = ORDERING_DOP
 
 #: Sentinel distinguishing "not cached" from a cached infeasible plan
 #: (``None`` is a legitimate, cacheable planning outcome).
@@ -95,6 +98,12 @@ class SchedulePlan:
     @property
     def machines_used(self) -> int:
         return sum(group.n_machines for group in self.groups)
+
+    def group_shapes(self) -> tuple[tuple[tuple[str, ...], int], ...]:
+        """``(job_ids, n_machines)`` per group — the estimate-free
+        shape the policy layer and tournament replays compare on."""
+        return tuple((group.job_ids, group.n_machines)
+                     for group in self.groups)
 
     def describe(self) -> str:
         lines = [f"SchedulePlan: {len(self.groups)} groups, "

@@ -27,6 +27,7 @@ from repro.experiments import (
     scalability,
     sensitivity_arrival,
     sensitivity_ratio,
+    tournament,
     trace_demo,
 )
 
@@ -51,5 +52,6 @@ __all__ = [
     "scalability",
     "sensitivity_arrival",
     "sensitivity_ratio",
+    "tournament",
     "trace_demo",
 ]

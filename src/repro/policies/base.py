@@ -1,0 +1,141 @@
+"""The scheduling-policy protocol: observe the cluster, emit starts.
+
+A :class:`SchedulingPolicy` looks at a :class:`PolicyObservation` — the
+queued jobs, the free-machine count, and callbacks into the master's
+(memoized) demand/metrics oracles — and returns a
+:class:`PolicyDecision`: which queued jobs to start, grouped how, on how
+many machines, optionally with per-job phase offsets.  The queue-driven
+master (:class:`repro.baselines.base.BaselineMaster`) applies decisions
+verbatim and re-asks until a decision makes no progress, so a policy
+only ever reasons about one admission pass.
+
+Everything a policy can observe is deterministic: the queue is an
+ordered tuple, running groups are sorted by group id, and the metric
+oracles are pure functions of the (immutable) job specs.  Policies must
+not iterate over sets or dicts of their own making — tie-breaks follow
+queue order so outcomes are independent of ``PYTHONHASHSEED``.
+
+The registry (:mod:`repro.policies.registry`) maps policy names to
+runtime builders; :mod:`repro.policies.queueing`,
+:mod:`repro.policies.packing` and :mod:`repro.policies.interleave`
+implement the competitor zoo.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.profiler import JobMetrics
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class RunningGroupView:
+    """A policy's read-only view of one live job group."""
+
+    group_id: str
+    job_ids: tuple[str, ...]
+    n_machines: int
+    #: Predicted time the group releases its machines (Eq. 1 over the
+    #: members' remaining iterations) — the backfill reservations' input.
+    predicted_release: float
+
+
+@dataclass(frozen=True)
+class GroupStart:
+    """One group the policy wants started this pass."""
+
+    job_ids: tuple[str, ...]
+    n_machines: int
+    #: Per-job start delays in seconds (CASSINI-style phase staggering);
+    #: ``None`` means everyone starts immediately.
+    start_offsets: tuple[float, ...] | None = None
+
+    def __post_init__(self):
+        if not self.job_ids:
+            raise SchedulingError("a GroupStart needs at least one job")
+        if self.n_machines < 1:
+            raise SchedulingError(
+                f"group of {list(self.job_ids)} wants "
+                f"{self.n_machines} machines")
+        if self.start_offsets is not None and \
+                len(self.start_offsets) != len(self.job_ids):
+            raise SchedulingError(
+                f"{len(self.start_offsets)} offsets for "
+                f"{len(self.job_ids)} jobs")
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Everything one ``decide()`` pass wants started, in order."""
+
+    starts: tuple[GroupStart, ...] = ()
+
+    @property
+    def machines_requested(self) -> int:
+        return sum(start.n_machines for start in self.starts)
+
+
+@dataclass(frozen=True)
+class PolicyObservation:
+    """Cluster/queue snapshot handed to ``decide()``.
+
+    The callables are bound master methods backed by per-run memo
+    caches, so a policy re-asking the same demand twice pays one linear
+    scan, not two (the masters' profiling showed memory floors dominate
+    baseline wall time).
+    """
+
+    now: float
+    cluster_size: int
+    n_free: int
+    #: Queued (not yet started) job ids, in queue order.
+    queue: tuple[str, ...]
+    #: Machine demand of a (possibly co-located) batch of queued jobs —
+    #: compute/communication balance bounded below by the memory floor.
+    batch_demand: Callable[[tuple[str, ...]], int]
+    #: Smallest DoP at which the batch fits in memory.
+    memory_floor: Callable[[tuple[str, ...]], int]
+    #: Whether a batch's demand is driven by its memory floor rather
+    #: than by compute/communication balance.
+    memory_dominated: Callable[[tuple[str, ...], int], bool]
+    #: Exact (cost-model) metrics of one job as observed at DoP ``m``.
+    metrics_at: Callable[[str, int], JobMetrics]
+    #: Iterations the job still has to run.
+    remaining_iterations: Callable[[str], int]
+    #: Closed-form solo runtime of the job's remaining iterations at
+    #: DoP ``m`` (Eq. 1; the backfill family's runtime estimate).
+    solo_seconds: Callable[[str, int], float]
+    #: Live groups, sorted by group id; computed lazily because only
+    #: the reservation-based policies need it.
+    running: Callable[[], tuple[RunningGroupView, ...]] = \
+        field(default=lambda: ())
+
+
+@runtime_checkable
+class SchedulingPolicy(Protocol):
+    """Observe cluster/job metrics, emit a grouping/placement plan."""
+
+    #: Stable identifier used in registries, leaderboards and reports.
+    name: str
+
+    def decide(self, obs: PolicyObservation) -> PolicyDecision: ...
+
+
+@dataclass(frozen=True)
+class FunctionPolicy:
+    """A :class:`SchedulingPolicy` from a pure ``decide`` function.
+
+    The partner of the ``functools.partial`` factory idiom: policy
+    families are written once as
+    ``_family(param_a, param_b, observation)`` and instantiated as
+    ``FunctionPolicy(name, partial(_family, a, b))``.
+    """
+
+    name: str
+    decide_fn: Callable[[PolicyObservation], PolicyDecision]
+
+    def decide(self, obs: PolicyObservation) -> PolicyDecision:
+        return self.decide_fn(obs)

@@ -1,0 +1,89 @@
+"""Synergy-style resource-sensitive packing.
+
+Synergy (OSDI '22) packs jobs onto shared servers by their *sensitivity*
+to each resource instead of GPU-proportional shares.  Translated to
+Harmony's world: co-locate queued jobs into one group whenever the
+co-location raises the group's weighted CPU/network utilization
+(Eq. 3 scored via :class:`~repro.core.perfmodel.PerfModel`, CPU
+weighted above network exactly as §IV-B2 does) by more than a
+configured gain.  Memory awareness comes in through the batch-demand
+oracle: a co-located batch's machine demand is floored by the smallest
+DoP at which the members' working sets fit, so memory-heavy pairings
+price themselves out of the packing score.
+
+The packer walks the queue head-first (FIFO fairness: the head is
+never skipped) and greedily accretes later jobs while the marginal
+score gain clears ``gain_threshold``.  All tie-breaks follow queue
+order — no hash-order iteration anywhere.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.core.perfmodel import PerfModel
+from repro.policies.base import (
+    FunctionPolicy,
+    GroupStart,
+    PolicyDecision,
+    PolicyObservation,
+)
+
+
+def _pack_score(perf_model: PerfModel, obs: PolicyObservation,
+                batch: tuple[str, ...], m: int) -> float:
+    """Weighted-utilization score of co-locating ``batch`` on ``m``."""
+    metrics = [obs.metrics_at(job_id, m) for job_id in batch]
+    estimate = perf_model.estimate_group(metrics, m)
+    return perf_model.score(estimate.utilization)
+
+
+def _synergy_pass(perf_model: PerfModel, max_group_jobs: int,
+                  gain_threshold: float,
+                  obs: PolicyObservation) -> PolicyDecision:
+    starts: list[GroupStart] = []
+    free = obs.n_free
+    queue = list(obs.queue)
+    while queue:
+        head = queue[0]
+        demand = obs.batch_demand((head,))
+        if demand > obs.cluster_size:
+            # Unplaceable on any cluster state; step over it so the
+            # rest of the queue keeps flowing.
+            queue.pop(0)
+            continue
+        if demand > free:
+            break  # FIFO: the head waits for machines, everyone waits
+        queue.pop(0)
+        batch = (head,)
+        score = _pack_score(perf_model, obs, batch, demand)
+        # Greedy accretion in queue order: each candidate joins when
+        # the packed group's weighted utilization (memory floors
+        # included via batch_demand) improves by > gain_threshold.
+        index = 0
+        while len(batch) < max_group_jobs and index < len(queue):
+            candidate = queue[index]
+            trial = batch + (candidate,)
+            trial_demand = obs.batch_demand(trial)
+            if trial_demand > free:
+                index += 1
+                continue
+            trial_score = _pack_score(perf_model, obs, trial,
+                                      trial_demand)
+            if trial_score > score + gain_threshold:
+                batch = trial
+                demand = trial_demand
+                score = trial_score
+                queue.pop(index)
+            else:
+                index += 1
+        starts.append(GroupStart(batch, demand))
+        free -= demand
+    return PolicyDecision(tuple(starts))
+
+
+def synergy(perf_model: PerfModel, max_group_jobs: int = 4,
+            gain_threshold: float = 0.02) -> FunctionPolicy:
+    """Resource-sensitive packing scored on the Eq. 3 utilization."""
+    return FunctionPolicy("synergy", partial(
+        _synergy_pass, perf_model, max_group_jobs, gain_threshold))

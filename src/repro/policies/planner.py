@@ -1,0 +1,91 @@
+"""Harmony's Algorithm 1 behind the policy protocols.
+
+Two adapters live here:
+
+* :class:`SchedulerPlanner` — the :class:`PlannerPolicy` the
+  :class:`~repro.core.master.HarmonyMaster` plans through.  It simply
+  forwards to a :class:`~repro.core.scheduler.HarmonyScheduler`, making
+  the master's observe→plan step an injectable seam (the §V-F oracle
+  and any future planner plug in here without subclassing the master).
+* :class:`HarmonyPlanPolicy` — Algorithm 1 as a *queue* policy: a
+  one-shot grouping over the queued jobs using exact cost-model
+  metrics.  This is Harmony's grouping without profiling or dynamic
+  regrouping — the "harmony-static" competitor of the tournament,
+  isolating how much of Harmony's win comes from the grouping math
+  versus from the runtime adaptation loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol
+
+from repro.core.profiler import JobMetrics
+from repro.core.scheduler import ORDERING_DOP, SchedulePlan
+from repro.policies.base import (
+    GroupStart,
+    PolicyDecision,
+    PolicyObservation,
+)
+
+
+class PlannerPolicy(Protocol):
+    """Observe profiled metrics + a machine budget, emit a plan."""
+
+    def plan(self, jobs: Sequence[JobMetrics],
+             total_machines: int) -> SchedulePlan | None: ...
+
+
+class SchedulerPlanner:
+    """The default planner: Algorithm 1 via a ``HarmonyScheduler``."""
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+
+    def plan(self, jobs: Sequence[JobMetrics],
+             total_machines: int) -> SchedulePlan | None:
+        return self.scheduler.schedule(jobs, total_machines)
+
+
+class HarmonyPlanPolicy:
+    """Algorithm 1 as a queue-admission policy (``harmony-static``).
+
+    On every pass the queued jobs are characterized at the ordering
+    DoP, Algorithm 1 plans groups over the free machines, and every
+    plan group that fits is started as-is.  Jobs the plan leaves out
+    stay queued for the next pass (when completions free machines).
+    """
+
+    name = "harmony-static"
+
+    def __init__(self, scheduler_factory):
+        #: Called as ``scheduler_factory(memory_floor)`` on first use:
+        #: the memory-floor oracle only exists once the master is
+        #: running, so construction is deferred to the first decide.
+        self._scheduler_factory = scheduler_factory
+        self._scheduler = None
+
+    def decide(self, obs: PolicyObservation) -> PolicyDecision:
+        if not obs.queue or obs.n_free < 1:
+            return PolicyDecision(())
+        if self._scheduler is None:
+            self._scheduler = self._scheduler_factory(obs.memory_floor)
+        characterize_at = min(ORDERING_DOP, obs.cluster_size)
+        pool = []
+        for job_id in obs.queue:
+            if obs.batch_demand((job_id,)) > obs.cluster_size:
+                continue  # unplaceable anywhere; skip, don't wedge
+            pool.append(obs.metrics_at(job_id, characterize_at))
+        if not pool:
+            return PolicyDecision(())
+        plan = self._scheduler.schedule(pool, obs.n_free)
+        if plan is None:
+            return PolicyDecision(())
+        starts: list[GroupStart] = []
+        free = obs.n_free
+        for group in plan.groups:
+            if group.n_machines <= free:
+                starts.append(GroupStart(group.job_ids,
+                                         group.n_machines))
+                free -= group.n_machines
+        return PolicyDecision(tuple(starts))
