@@ -7,9 +7,22 @@ training, and the scheduler constants quoted in §IV-B (5% thresholds).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.trace.tracer import TraceConfig
+
+
+def _default_engine() -> str:
+    """Default simulation engine, overridable via the environment.
+
+    ``HARMONY_SIM_ENGINE=reference`` forces the frozen per-event path
+    for every ``SimConfig()`` that does not pass ``engine=`` explicitly
+    — the CI matrix runs the whole tier-1 suite once per engine this
+    way, so a fast-path regression can never hide behind the reference
+    engine.  Invalid values are rejected by ``SimConfig.__post_init__``.
+    """
+    return os.environ.get("HARMONY_SIM_ENGINE", "fast")
 
 GB = 1024.0 ** 3
 MB = 1024.0 ** 2
@@ -213,7 +226,10 @@ class SimConfig:
     #: closed form (:mod:`repro.sim.fastpath`); ``"reference"`` forces
     #: the frozen per-event path everywhere.  The two are pinned
     #: bitwise-equal by the differential suite (tests/test_sim_fastpath).
-    engine: str = "fast"
+    #: The default honours the ``HARMONY_SIM_ENGINE`` environment knob
+    #: (read at construction time) so CI can force the reference engine
+    #: across the whole suite.
+    engine: str = field(default_factory=_default_engine)
 
     def __post_init__(self):
         if self.engine not in ("fast", "reference"):

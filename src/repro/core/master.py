@@ -35,9 +35,12 @@ from repro.core.regroup import (
 from repro.core.scheduler import HarmonyScheduler, SchedulePlan
 from repro.errors import SchedulingError
 from repro.metrics.faults import FaultLog, FaultRecord
-from repro.metrics.utilization import ClusterUsageRecorder, DecisionRecord
+from repro.metrics.utilization import (
+    ClusterUsageRecorder,
+    DecisionRecord,
+    busy_fraction,
+)
 from repro.sim import RandomStreams, Simulator
-from repro.sim.resources import RateResource
 from repro.workloads.apps import JobSpec
 from repro.workloads.costmodel import CostModel
 
@@ -66,22 +69,6 @@ class _Rebuild:
     slots: list[tuple[str, tuple[str, ...], int]]
 
 
-def _busy_fraction(resource: RateResource, t_start: float,
-                   t_end: float) -> float:
-    """Average busy level of a resource over a window."""
-    span = t_end - t_start
-    if span <= 0:
-        return 0.0
-    resource.close_segments()
-    busy = 0.0
-    for segment in resource.segments:
-        lo = max(segment.start, t_start)
-        hi = min(segment.end, t_end)
-        if hi > lo:
-            busy += (hi - lo) * segment.level
-    return busy / span
-
-
 class _SchedulerPlanner:
     """Default planner: forwards to the master's ``HarmonyScheduler``.
 
@@ -100,6 +87,17 @@ class _SchedulerPlanner:
 
 class HarmonyMaster:
     """Scheduling brain bound to a simulator and a cluster."""
+
+    #: Fast-path contract (see :class:`repro.core.group_runtime
+    #: .GroupHooks`): the per-iteration hooks observe and mutate live
+    #: state (profiler EMA updates, PROFILING→PROFILED transitions that
+    #: cascade into Algorithm 1, pause requests) — not inert — but they
+    #: act only through the simulator/group APIs, so they are correct
+    #: whenever they run at true simulated times.  That qualifies this
+    #: master's groups for the coordinated drive lane, which serves
+    #: every parked completion at its true ``(when, seq)`` heap
+    #: position.
+    iteration_hooks_replayable = True
 
     def __init__(self, sim: Simulator, cluster: Cluster,
                  cost_model: CostModel, config: SimConfig,
@@ -1090,10 +1088,10 @@ class HarmonyMaster:
             record.measured_t_group = (sum(c.duration for c in cycles)
                                        / len(cycles))
         if t_end - t_start > 0:
-            record.measured_u_cpu = _busy_fraction(group.cpu, t_start,
-                                                   t_end)
-            record.measured_u_net = _busy_fraction(group.net, t_start,
-                                                   t_end)
+            record.measured_u_cpu = busy_fraction(group.cpu, t_start,
+                                                  t_end)
+            record.measured_u_net = busy_fraction(group.net, t_start,
+                                                  t_end)
         if self._trace is not None:
             self._instant(
                 "epoch-close", group=group.group_id,

@@ -17,6 +17,28 @@ from repro.metrics.timeline import Timeline, bin_segments
 from repro.sim.resources import BusySegment, RateResource
 
 
+def busy_fraction(resource: RateResource, t_start: float,
+                  t_end: float) -> float:
+    """Average busy level of a live resource over a window.
+
+    Flushes the resource's in-progress segment up to ``sim.now`` first
+    (``close_segments``), then clips each constant-level segment to the
+    window.  This is the measurement half of Fig. 13b's utilization
+    comparison; the master calls it when a decision epoch closes.
+    """
+    span = t_end - t_start
+    if span <= 0:
+        return 0.0
+    resource.close_segments()
+    busy = 0.0
+    for segment in resource.segments:
+        lo = max(segment.start, t_start)
+        hi = min(segment.end, t_end)
+        if hi > lo:
+            busy += (hi - lo) * segment.level
+    return busy / span
+
+
 @dataclass
 class GroupUsage:
     """Frozen usage of one group over one placement interval."""

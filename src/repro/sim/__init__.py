@@ -16,12 +16,13 @@ from repro.sim.resources import (
     processor_sharing,
     serial,
 )
-from repro.sim.simulator import ScheduledCall, Simulator
+from repro.sim.simulator import FastpathStats, ScheduledCall, Simulator
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "FastpathStats",
     "Process",
     "RandomStreams",
     "RatePolicy",

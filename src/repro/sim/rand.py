@@ -19,6 +19,9 @@ class RandomStreams:
     def __init__(self, seed: int):
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
+        # (mu, sigma) of the unit-mean lognormal per cv; the transform
+        # is deterministic, so memoizing it is exact.
+        self._lognormal_params: dict[float, tuple[float, float]] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """The generator for ``name``, created deterministically on first
@@ -39,9 +42,13 @@ class RandomStreams:
         """
         if cv <= 0.0:
             return 1.0
-        sigma = np.sqrt(np.log(1.0 + cv * cv))
-        mu = -0.5 * sigma * sigma  # mean of lognormal == 1
-        return float(self.stream(name).lognormal(mu, sigma))
+        params = self._lognormal_params.get(cv)
+        if params is None:
+            sigma = np.sqrt(np.log(1.0 + cv * cv))
+            mu = -0.5 * sigma * sigma  # mean of lognormal == 1
+            params = (mu, sigma)
+            self._lognormal_params[cv] = params
+        return float(self.stream(name).lognormal(params[0], params[1]))
 
     def spawn(self, label: str) -> "RandomStreams":
         """A child family, independent of this one, for sub-components."""

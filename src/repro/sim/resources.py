@@ -79,7 +79,7 @@ def processor_sharing(interference: float = 0.0,
     return policy
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceRecord:
     """Completion record delivered as the value of a task's event."""
 
@@ -98,7 +98,7 @@ class ServiceRecord:
         return self.finished_at - self.submitted_at
 
 
-@dataclass
+@dataclass(slots=True)
 class _Task:
     work_remaining: float
     work_total: float
@@ -150,6 +150,9 @@ class RateResource:
                  trace_gauge: str | None = None):
         self.sim = sim
         self.name = name
+        # Event name shared by every task of this resource; building it
+        # once keeps the per-submit cost to an attribute load.
+        self._task_name = f"{name}:task"
         self._policy = policy
         self._tasks: list[_Task] = []
         self._last_update = sim.now
@@ -163,9 +166,24 @@ class RateResource:
         #: :meth:`drain` to warp to.
         self._autodrain = False
         self._pending_wake_at: float | None = None
+        #: Tiebreak sequence number of the parked wake (coordinated
+        #: mode only), drawn at exactly the point the reference
+        #: engine's ``call_at`` would have drawn it.
+        self._pending_wake_seq: int | None = None
+        #: Coordinated fast-path owner (a ``GroupBatchEngine``).  When
+        #: set, parked wakes draw sequence numbers and the owner is
+        #: notified on every park change so it can keep one real
+        #: "driver" event at the group's earliest parked wake.
+        self._wake_owner = None
         # Head-of-line service rate for a queue of one, memoized for
         # serve_solo (policies are pure functions of the queue length).
         self._solo_rate: float | None = None
+        # Per-queue-length (rates, level, active indices) memo for
+        # serve_parked.  Policies are pure functions of the queue
+        # length, so the cached tuples are float-identical to what
+        # current_rates() would rebuild at every wake.
+        self._rates_cache: dict[
+            int, tuple[tuple[float, ...], float, tuple[int, ...]]] = {}
         self._record_segments = record_segments
         # Observability: a gauge lane sampling the delivered service
         # level at every rate change (renders as a Perfetto counter
@@ -203,10 +221,14 @@ class RateResource:
         """
         if work < 0:
             raise ResourceError(f"negative work {work} on {self.name!r}")
-        self._advance()
-        event = self.sim.event(f"{self.name}:task")
+        sim = self.sim
+        # _advance at an unchanged clock only rewrites _last_update with
+        # the same value; skipping the call entirely is exact.
+        if sim._now != self._last_update:
+            self._advance()
+        event = Event(sim, self._task_name)
         task = _Task(work_remaining=max(work, 0.0), work_total=work,
-                     event=event, tag=tag, submitted_at=self.sim.now)
+                     event=event, tag=tag, submitted_at=sim._now)
         self.work_submitted += task.work_remaining
         self._tasks.append(task)
         # Zero-work tasks are popped as already-finished by the
@@ -249,8 +271,11 @@ class RateResource:
         self.sim.cancel(self._wake_handle)
         self._wake_handle = None
         self._pending_wake_at = None
+        self._pending_wake_seq = None
         if self._level_gauge is not None:
             self._sample_level()
+        if self._wake_owner is not None:
+            self._wake_owner.park_changed(self)
         return dropped
 
     def audit(self) -> ResourceAudit:
@@ -290,9 +315,38 @@ class RateResource:
 
     def _advance(self) -> None:
         """Account for service delivered since the last update."""
-        now = self.sim.now
+        now = self.sim._now
         dt = now - self._last_update
         if dt <= _EPSILON:
+            self._last_update = now
+            return
+        if self._wake_owner is not None and self._level_gauge is None:
+            # Coordinated mode: replay the same arithmetic from the
+            # per-queue-length memo (identical values in identical
+            # order — see _rates_for) without rebuilding rate lists.
+            tasks = self._tasks
+            cached = self._rates_cache.get(len(tasks))
+            if cached is None:
+                cached = self._rates_for(len(tasks))
+            rates, level, active = cached
+            last_update = self._last_update
+            if level > _EPSILON:
+                self.busy_seconds += level * dt
+                if self._record_segments:
+                    self._append_segment(last_update, now, level)
+            served_by_tag = self.served_by_tag
+            for index in active:
+                task = tasks[index]
+                if task.started_at is None:
+                    task.started_at = last_update
+                delivered = min(task.work_remaining, rates[index] * dt)
+                task.work_remaining -= delivered
+                task.served += delivered
+                self.work_served += delivered
+                tag = task.tag
+                if tag is not None:
+                    served_by_tag[tag] = (
+                        served_by_tag.get(tag, 0.0) + delivered)
             self._last_update = now
             return
         rates = self.current_rates()
@@ -336,9 +390,11 @@ class RateResource:
         # dead entry behind: the generation guard would ignore it, but
         # stale entries cost queue traffic and would block fast-path
         # clock warps across their fire times.
-        self.sim.cancel(self._wake_handle)
-        self._wake_handle = None
+        if self._wake_handle is not None:
+            self._wake_handle.cancelled = True  # sim.cancel()
+            self._wake_handle = None
         self._pending_wake_at = None
+        self._pending_wake_seq = None
         self._wake_generation += 1
         generation = self._wake_generation
         # Pop any tasks that are already done (zero-work or finished
@@ -346,14 +402,51 @@ class RateResource:
         self._pop_finished()
         if self._level_gauge is not None:
             self._sample_level()
+        owner = self._wake_owner
         if not self._tasks:
+            if owner is not None and not (owner._in_drive
+                                          or owner.active):
+                owner._sync_driver()  # park_changed(), inlined
             return
-        horizon = self._next_horizon()
+        if owner is not None and self._level_gauge is None:
+            # Coordinated mode: the horizon scan over the memoized
+            # active set replays _next_horizon's arithmetic exactly.
+            tasks = self._tasks
+            cached = self._rates_cache.get(len(tasks))
+            if cached is None:
+                cached = self._rates_for(len(tasks))
+            rates, _level, active = cached
+            horizon = None
+            for index in active:
+                eta = tasks[index].work_remaining / rates[index]
+                if horizon is None or eta < horizon:
+                    horizon = eta
+        else:
+            horizon = self._next_horizon()
         if horizon is None:
-            return  # everything is waiting (policy starves the queue)
-        when = self.sim.now + max(horizon, 0.0)
+            # everything is waiting (policy starves the queue)
+            if owner is not None:
+                owner.park_changed(self)
+            return
+        when = self.sim._now + max(horizon, 0.0)
         if self._autodrain:
-            # Fast path: the owning batch will drain() synchronously.
+            if owner is not None:
+                # Coordinated lane: mirror the event-driven entry
+                # exactly.  _pop_finished may have resumed a process
+                # whose submit() ran a nested _reschedule — that nested
+                # park is the live one (the entry this frame would have
+                # queued is generation-dead on arrival in the reference
+                # engine), so a stale frame must not overwrite it.  The
+                # park draws its tiebreak sequence number at the same
+                # point call_at would have.
+                if self._wake_generation != generation:
+                    return
+                self._pending_wake_at = when
+                self._pending_wake_seq = next(self.sim._sequence)
+                if not (owner._in_drive or owner.active):
+                    owner._sync_driver()  # park_changed(), inlined
+                return
+            # Solo lane: the owning batch will drain() synchronously.
             # Park the exact fire time the event-driven engine would
             # have used, so the warped timeline stays bitwise equal.
             self._pending_wake_at = when
@@ -491,17 +584,171 @@ class RateResource:
     def rearm(self) -> None:
         """Leave fast-path mode, re-queueing the parked wake (if any).
 
-        Called when a batch closes with a task still in flight (a
-        background reload crossing the batch boundary): the wake
-        returns to the event queue at the exact parked time.
+        Called when a solo batch closes with a task still in flight (a
+        background reload crossing the batch boundary) and when a
+        coordinated engine deactivates: the wake returns to the event
+        queue at the exact parked time — and, in coordinated mode, at
+        the exact tiebreak sequence number it drew when it parked, so
+        same-instant races resolve in the reference order.
         """
         self._autodrain = False
+        self._wake_owner = None
         when, self._pending_wake_at = self._pending_wake_at, None
+        seq, self._pending_wake_seq = self._pending_wake_seq, None
         if when is None or not self._tasks:
             return
         generation = self._wake_generation
         self._wake_handle = self.sim.call_at(
-            when, lambda: self._on_wake(generation), cancellable=True)
+            when, lambda: self._on_wake(generation), cancellable=True,
+            sequence=seq)
+
+    # -- coordinated fast path (multi-job groups) ----------------------
+
+    def set_wake_owner(self, owner) -> None:
+        """Enter coordinated fast-path mode under ``owner``.
+
+        The resource stays permanently autodrained: every wake the
+        reference engine would queue is parked as ``(when, seq)`` and
+        the owner is notified so it can maintain one real driver event
+        at the group's earliest parked wake.  :meth:`rearm` leaves this
+        mode.
+        """
+        self._wake_owner = owner
+        self._autodrain = True
+
+    def serve_parked(self) -> None:
+        """Serve one parked wake — the coordinated drive's hot step.
+
+        The caller has warped the clock to the parked fire time.
+        Semantically identical to the reference engine's ``_on_wake``
+        (``_advance`` + ``_reschedule``), but fused: the per-position
+        rates, capacity level, and active-index set are memoized per
+        queue length (the "per-segment fixed point" — rates depend
+        only on the queue length, which is constant between structural
+        changes), and no cancellation/queue traffic is paid.  Float
+        operations are replayed in the reference order, so the result
+        is bitwise equal.
+        """
+        if self._level_gauge is not None:
+            # Tracing samples the level at every rate change; take the
+            # generic path so gauge points land identically.
+            self._advance()
+            self._reschedule()
+            return
+        sim = self.sim
+        now = sim._now
+        # _advance(), inlined (the memoized coordinated branch): this
+        # is the single hottest call site in a drive, one per wake.
+        dt = now - self._last_update
+        if dt <= _EPSILON:
+            self._last_update = now
+        else:
+            tasks = self._tasks
+            cached = self._rates_cache.get(len(tasks))
+            if cached is None:
+                cached = self._rates_for(len(tasks))
+            rates, level, active = cached
+            last_update = self._last_update
+            if level > _EPSILON:
+                self.busy_seconds += level * dt
+                if self._record_segments:
+                    # _append_segment inlined (dt > 0 already rules out
+                    # the zero-duration guard).
+                    segments = self.segments
+                    if len(segments) > self._segment_seal:
+                        prev = segments[-1]
+                        if (abs(prev.end - last_update) <= _EPSILON
+                                and abs(prev.level - level) <= 1e-6):
+                            prev.end = now
+                        else:
+                            segments.append(
+                                BusySegment(last_update, now, level))
+                    else:
+                        segments.append(
+                            BusySegment(last_update, now, level))
+            served_by_tag = self.served_by_tag
+            for index in active:
+                task = tasks[index]
+                if task.started_at is None:
+                    task.started_at = last_update
+                delivered = min(task.work_remaining, rates[index] * dt)
+                task.work_remaining -= delivered
+                task.served += delivered
+                self.work_served += delivered
+                tag = task.tag
+                if tag is not None:
+                    served_by_tag[tag] = (
+                        served_by_tag.get(tag, 0.0) + delivered)
+            self._last_update = now
+        # _reschedule(), fused.  No wake handle to cancel and no gauge
+        # to sample in this mode.
+        self._pending_wake_at = None
+        self._pending_wake_seq = None
+        self._wake_generation += 1
+        generation = self._wake_generation
+        # _pop_finished(), single-completion case inlined: a wake fires
+        # at the minimum completion horizon, so almost every serve pops
+        # exactly one task.  Completion callbacks may resume processes
+        # that submit() back into this queue.
+        tasks = self._tasks
+        first = -1
+        for index, task in enumerate(tasks):
+            if task.work_remaining <= _EPSILON:
+                first = index
+                break
+        if first >= 0:
+            for index in range(first + 1, len(tasks)):
+                if tasks[index].work_remaining <= _EPSILON:
+                    self._pop_finished()  # simultaneous completions
+                    break
+            else:
+                self._complete(tasks.pop(first))
+        owner = self._wake_owner
+        if owner is None:
+            # The engine deactivated while a completion callback ran
+            # (fast-path teardown mid-serve): fall back to the generic
+            # rescheduling pass, which queues a real wake.
+            self._reschedule()
+            return
+        # No owner notification on any exit: serve_parked only runs
+        # inside the owner's _drive loop (which rescans every park on
+        # each step and reconciles the driver once, on exit), so
+        # park_changed would be suppressed anyway.
+        tasks = self._tasks
+        if not tasks:
+            return
+        cached = self._rates_cache.get(len(tasks))
+        if cached is None:
+            cached = self._rates_for(len(tasks))
+        rates, _level, active = cached
+        horizon = None
+        for index in active:
+            eta = tasks[index].work_remaining / rates[index]
+            if horizon is None or eta < horizon:
+                horizon = eta
+        if horizon is None:
+            return
+        if self._wake_generation != generation:
+            return  # superseded by a nested reschedule in _pop_finished
+        self._pending_wake_at = now + max(horizon, 0.0)
+        self._pending_wake_seq = next(sim._sequence)  # draw_sequence()
+
+    def _rates_for(
+            self, n: int
+    ) -> tuple[tuple[float, ...], float, tuple[int, ...]]:
+        """Memoize (padded rates, capacity level, active indices) for a
+        queue of length ``n``.  ``level`` reproduces ``min(1.0,
+        sum(rates))`` over the padded list and ``active`` the indices
+        ``_advance``/``_next_horizon`` would not skip, so the fused
+        path replays identical arithmetic."""
+        base = self._policy(n)
+        nb = len(base)
+        rates = tuple(base[i] if i < nb else 0.0 for i in range(n))
+        level = min(1.0, sum(rates))
+        active = tuple(i for i, r in enumerate(rates) if r > _EPSILON)
+        entry = (rates, level, active)
+        self._rates_cache[n] = entry
+        return entry
 
     def _sample_level(self) -> None:
         """Record the delivered service level going forward from now."""
@@ -517,13 +764,30 @@ class RateResource:
         self._reschedule()
 
     def _pop_finished(self) -> None:
-        finished = [t for t in self._tasks if t.work_remaining <= _EPSILON]
-        if not finished:
+        # Scan-before-allocate: most rescheduling passes pop nothing
+        # (every submit, every cancel) or exactly one task (every
+        # completion wake), so neither common case may build throwaway
+        # lists.
+        tasks = self._tasks
+        first = -1
+        for index, task in enumerate(tasks):
+            if task.work_remaining <= _EPSILON:
+                first = index
+                break
+        if first < 0:
             return
-        self._tasks = [t for t in self._tasks
-                       if t.work_remaining > _EPSILON]
-        for task in finished:
-            self._complete(task)
+        for index in range(first + 1, len(tasks)):
+            if tasks[index].work_remaining <= _EPSILON:
+                # Multiple simultaneous completions: rebuild the queue
+                # and deliver in FIFO order.
+                finished = [t for t in tasks
+                            if t.work_remaining <= _EPSILON]
+                self._tasks = [t for t in tasks
+                               if t.work_remaining > _EPSILON]
+                for task in finished:
+                    self._complete(task)
+                return
+        self._complete(tasks.pop(first))
 
     def _complete(self, task: _Task) -> None:
         started = task.started_at if task.started_at is not None \

@@ -11,6 +11,7 @@ generator code under a warped clock, so any difference at all is a
 bug, not noise.
 """
 
+import os
 from dataclasses import replace
 
 import numpy as np
@@ -23,6 +24,7 @@ from repro.check.oracle import deterministic_config, step_boundaries
 from repro.config import DEFAULT_SIM_CONFIG, ExecutionConfig, SimConfig
 from repro.core.group_runtime import ExecutionMode, GroupRuntime
 from repro.core.job import Job, JobState
+from repro.core.runtime import HarmonyRuntime
 from repro.errors import SimulationError
 from repro.experiments.common import _CollectingHooks
 from repro.sim import Event, RandomStreams, Simulator
@@ -51,6 +53,34 @@ def run_group(spec, mode, engine, config, m=4):
     return sim, group, hooks
 
 
+def run_multi_group(specs, mode, engine, config, m=6,
+                    hooks_factory=_CollectingHooks):
+    """A multi-job group run to completion on the given engine."""
+    sim = Simulator()
+    cfg = config.with_engine(engine)
+    hooks = hooks_factory()
+    group = GroupRuntime(sim, "g", tuple(range(m)), mode,
+                         CostModel(cfg.machine), cfg,
+                         RandomStreams(cfg.seed), hooks)
+    for spec in specs:
+        job = Job(spec)
+        job.state = JobState.RUNNING
+        group.add_job(job)
+    sim.run()
+    for resource in (group.cpu, group.net, group.disk):
+        resource.close_segments()
+    return sim, group, hooks
+
+
+def multi_specs(n_jobs, iterations=5, stagger_iterations=True):
+    """``n_jobs`` heterogeneous specs cycling through the base pool."""
+    return [replace(POOL[i % len(POOL)], job_id=f"j{i}",
+                    iterations=iterations + (i if stagger_iterations
+                                             else 0),
+                    submit_time=0.0)
+            for i in range(n_jobs)]
+
+
 def segments_of(resource):
     return [(s.start, s.end, s.level) for s in resource.segments]
 
@@ -61,7 +91,9 @@ def assert_bitwise_equal(fast, ref):
     sim_r, group_r, hooks_r = ref
     assert sim_f.now == sim_r.now
     assert hooks_f.finished == hooks_r.finished
-    assert hooks_f.failed == hooks_r.failed
+    # Exceptions compare by identity; match failures by id + message.
+    assert ([(j, repr(e)) for j, e in hooks_f.failed]
+            == [(j, repr(e)) for j, e in hooks_r.failed])
     assert np.array_equal(cycles_view(group_f.cycles),
                           cycles_view(group_r.cycles))
     for res_f, res_r in ((group_f.cpu, group_r.cpu),
@@ -132,22 +164,246 @@ class TestGroupDifferential:
                                 "reference", DEFAULT_SIM_CONFIG)
         assert group._engine is None
 
-    def test_multi_job_groups_stay_on_reference_path(self):
-        """Contending jobs interleave; the batch must refuse to open."""
-        specs = [replace(s, iterations=5, submit_time=0.0)
-                 for s in POOL[:2]]
+    def test_multi_job_groups_skip_solo_lane(self):
+        """Contending jobs interleave; the solo batch must refuse to
+        open — the coordinated drive lane carries them instead."""
+        sim, group, _ = run_multi_group(multi_specs(2),
+                                        ExecutionMode.HARMONY, "fast",
+                                        DEFAULT_SIM_CONFIG, m=4)
+        assert group._engine.stats.n_batches == 0
+        assert sim.fastpath_stats.solo_batches == 0
+        assert sim.fastpath_stats.wakes_served > 0
+
+
+class TestMultiJobDifferential:
+    """Fast engine vs reference engine on multi-job groups: the
+    coordinated drive lane serves parked wakes at true times, so every
+    co-location mode must come out bitwise identical."""
+
+    @pytest.mark.parametrize("mode", [ExecutionMode.HARMONY,
+                                      ExecutionMode.NAIVE])
+    @pytest.mark.parametrize("n_jobs", [2, 3, 5])
+    def test_group_sweep_bitwise_equal(self, mode, n_jobs):
+        """Heterogeneous apps, with and without jitter."""
+        specs = multi_specs(n_jobs)
+        for config in (DEFAULT_SIM_CONFIG, deterministic_config(7)):
+            fast = run_multi_group(specs, mode, "fast", config)
+            ref = run_multi_group(specs, mode, "reference", config)
+            assert_bitwise_equal(fast, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_jobs=st.integers(2, 4),
+           iterations=st.integers(1, 10),
+           m=st.integers(2, 8),
+           jitter_cv=st.sampled_from([0.0, 0.02, 0.05]),
+           seed=st.integers(0, 2**16))
+    def test_random_multi_job_groups_bitwise_equal(self, n_jobs,
+                                                   iterations, m,
+                                                   jitter_cv, seed):
+        """Hypothesis sweep over group sizes, shapes, jitter, seeds."""
+        specs = multi_specs(n_jobs, iterations=iterations,
+                            stagger_iterations=False)
+        config = SimConfig(
+            seed=seed,
+            execution=ExecutionConfig(duration_jitter_cv=jitter_cv))
+        fast = run_multi_group(specs, ExecutionMode.HARMONY, "fast",
+                               config, m)
+        ref = run_multi_group(specs, ExecutionMode.HARMONY,
+                              "reference", config, m)
+        assert_bitwise_equal(fast, ref)
+
+    def test_conservation_invariants_hold_on_both_engines(self):
+        """The repro.check group invariants pass for a 3-job group
+        under either engine."""
+        checker = InvariantChecker()
+        specs = multi_specs(3)
+        for engine in ("fast", "reference"):
+            _, group, _ = run_multi_group(specs, ExecutionMode.HARMONY,
+                                          engine, DEFAULT_SIM_CONFIG)
+            violations = []
+            checker.check_audit(group.audit(), violations)
+            assert violations == [], engine
+
+    def test_drive_lane_engages_for_multi_job_groups(self):
+        """Guard against the coordinated lane silently never engaging:
+        the whole point of the engine is that multi-job groups batch."""
+        sim, group, _ = run_multi_group(multi_specs(3),
+                                        ExecutionMode.HARMONY, "fast",
+                                        DEFAULT_SIM_CONFIG)
+        stats = sim.fastpath_stats
+        assert stats.engaged
+        assert stats.groups_attached == 1
+        assert stats.drive_windows >= 1
+        assert stats.wakes_served > 0
+        # Multi-job groups never open the fused solo lane.
+        assert stats.solo_batches == 0
+        assert group._engine is not None
+
+    def test_reference_engine_stats_stay_zero(self):
+        sim, group, _ = run_multi_group(multi_specs(3),
+                                        ExecutionMode.HARMONY,
+                                        "reference",
+                                        DEFAULT_SIM_CONFIG)
+        stats = sim.fastpath_stats
+        assert not stats.engaged
+        assert stats.groups_attached == 0
+        assert stats.drive_windows == 0
+        assert stats.wakes_served == 0
+        assert group._engine is None
+
+    def test_undeclared_hooks_fall_back_to_reference(self):
+        """Hooks that declare neither ``iteration_hooks_inert`` nor
+        ``iteration_hooks_replayable`` must keep the group off the
+        fast path entirely — and the run still matches bitwise."""
+        class OpaqueHooks(_CollectingHooks):
+            iteration_hooks_inert = False
+
+        specs = multi_specs(2)
+        fast = run_multi_group(specs, ExecutionMode.HARMONY, "fast",
+                               DEFAULT_SIM_CONFIG,
+                               hooks_factory=OpaqueHooks)
+        ref = run_multi_group(specs, ExecutionMode.HARMONY,
+                              "reference", DEFAULT_SIM_CONFIG,
+                              hooks_factory=OpaqueHooks)
+        assert fast[1]._engine is None
+        assert not fast[0].fastpath_stats.engaged
+        assert_bitwise_equal(fast, ref)
+
+
+class TestMasterDifferential:
+    """Fig. 10-style full ``HarmonyRuntime`` runs — profiler
+    transitions, pauses, regroups, migrations, faults — must be
+    bitwise identical, with the drive lane engaged."""
+
+    @pytest.mark.parametrize("failure_times", [[], [150.0, 900.0]],
+                             ids=["no-faults", "faults"])
+    def test_fig10_run_bitwise_equal(self, failure_times):
+        pool = WorkloadGenerator(11).base_workload(
+            hyper_params_per_pair=1)
+        specs = [replace(pool[i % len(pool)], job_id=f"j{i}",
+                         iterations=6, submit_time=float(40 * i))
+                 for i in range(8)]
+        results = {}
+        for engine in ("fast", "reference"):
+            cfg = deterministic_config(11).with_engine(engine)
+            runtime = HarmonyRuntime(20, specs, config=cfg,
+                                     failure_times=failure_times)
+            result = runtime.run()
+            results[engine] = (result, runtime.sim.fastpath_stats)
+        fast, fast_stats = results["fast"]
+        ref, ref_stats = results["reference"]
+        assert fast.makespan == ref.makespan
+        for job_id, outcome in fast.outcomes.items():
+            other = ref.outcomes[job_id]
+            assert outcome.state == other.state
+            assert outcome.jct == other.jct
+            assert outcome.finish_time == other.finish_time
+        assert np.array_equal(cycles_view(fast._all_cycles),
+                              cycles_view(ref._all_cycles))
+        assert fast.gc_seconds == ref.gc_seconds
+        assert fast.stall_seconds == ref.stall_seconds
+        assert (fast.migration_overhead_seconds
+                == ref.migration_overhead_seconds)
+        # HarmonyMaster's hooks are replayable, so the drive lane must
+        # actually carry the run — not silently fall back.
+        assert fast_stats.engaged
+        assert fast_stats.drive_windows >= 1
+        assert fast_stats.wakes_served > 0
+        assert fast_stats.groups_attached >= 1
+        assert not ref_stats.engaged
+
+
+class TestTruncation:
+    """Truncated runs cannot use the batched lane; tearing it down
+    mid-run must requeue parked wakes bit-for-bit."""
+
+    def _fresh(self, engine):
         sim = Simulator()
-        cfg = DEFAULT_SIM_CONFIG.with_engine("fast")
-        group = GroupRuntime(sim, "g", tuple(range(4)),
-                             ExecutionMode.HARMONY, CostModel(cfg.machine),
-                             cfg, RandomStreams(cfg.seed),
-                             _CollectingHooks())
-        for spec in specs:
+        cfg = DEFAULT_SIM_CONFIG.with_engine(engine)
+        hooks = _CollectingHooks()
+        group = GroupRuntime(sim, "g", tuple(range(6)),
+                             ExecutionMode.HARMONY,
+                             CostModel(cfg.machine), cfg,
+                             RandomStreams(cfg.seed), hooks)
+        for spec in multi_specs(3):
             job = Job(spec)
             job.state = JobState.RUNNING
             group.add_job(job)
+        return sim, group, hooks
+
+    def _finish(self, sim, group, hooks):
+        for resource in (group.cpu, group.net, group.disk):
+            resource.close_segments()
+        return sim, group, hooks
+
+    def _reference_run(self):
+        sim, group, hooks = self._fresh("reference")
         sim.run()
-        assert group._engine.stats.n_batches == 0
+        return self._finish(sim, group, hooks)
+
+    def test_max_events_run_tears_down_and_stays_equal(self):
+        """``max_events`` budgets reference callbacks; the fast path is
+        deactivated up front and the run continues bit-for-bit."""
+        sim, group, hooks = self._fresh("fast")
+        sim.run(max_events=40)
+        assert sim.fastpath_enabled is False
+        assert sim.fastpath_stats.engines_deactivated == 1
+        for resource in (group.cpu, group.net, group.disk):
+            assert resource._pending_wake_at is None
+        assert group._engine._driver_handle is None
+        sim.run()  # finish on the reference path
+        assert_bitwise_equal(self._finish(sim, group, hooks),
+                             self._reference_run())
+
+    def test_mid_run_disable_requeues_parked_wakes(self):
+        """Clearing ``fastpath_enabled`` mid-run (between events, with
+        wakes parked under the drive lane) requeues them at their
+        exact ``(when, seq)`` keys: the rest of the run is bitwise
+        reference."""
+        ref = self._reference_run()
+        t_mid = ref[0].now / 3.0
+        sim, group, hooks = self._fresh("fast")
+        sim.run(until=t_mid)
+        assert sim.now == t_mid
+        # Mid-run the group still has parked work under the engine.
+        assert any(r._pending_wake_at is not None
+                   for r in (group.cpu, group.net, group.disk))
+        sim.fastpath_enabled = False
+        for resource in (group.cpu, group.net, group.disk):
+            assert resource._pending_wake_at is None
+        assert group._engine._driver_handle is None
+        sim.run()
+        assert_bitwise_equal(self._finish(sim, group, hooks), ref)
+
+    def test_until_truncated_drive_stops_on_horizon(self):
+        """A drive window never serves a parked wake past ``until`` —
+        the truncated fast run stops at exactly the reference state."""
+        ref_sim, ref_group, _ = self._fresh("reference")
+        ref_sim.run(until=120.0)
+        sim, group, _ = self._fresh("fast")
+        sim.run(until=120.0)
+        assert sim.now == ref_sim.now == 120.0
+        assert np.array_equal(cycles_view(group.cycles),
+                              cycles_view(ref_group.cycles))
+        for fast_res, ref_res in ((group.cpu, ref_group.cpu),
+                                  (group.net, ref_group.net),
+                                  (group.disk, ref_group.disk)):
+            assert np.array_equal(ledger_view(fast_res),
+                                  ledger_view(ref_res))
+
+    def test_crash_with_parked_wakes_cleans_up(self):
+        """A group crash mid-run (between events) purges the parked
+        wakes and retracts the driver entry — no stale wake may fire
+        into the dead group."""
+        sim, group, hooks = self._fresh("fast")
+        sim.run(until=60.0)
+        victims = group.crash()
+        assert victims
+        for resource in (group.cpu, group.net, group.disk):
+            assert resource._pending_wake_at is None
+        assert group._engine._driver_handle is None
+        sim.run()  # drains without touching the dead group
+        assert hooks.finished == []
 
 
 class TestBaselineDifferential:
@@ -193,7 +449,27 @@ class TestEngineConfig:
     def test_with_engine_round_trip(self):
         cfg = DEFAULT_SIM_CONFIG.with_engine("reference")
         assert cfg.engine == "reference"
-        assert DEFAULT_SIM_CONFIG.engine == "fast"
+        # The package default honours the CI matrix's env knob; with no
+        # knob set it is "fast".
+        assert DEFAULT_SIM_CONFIG.engine == os.environ.get(
+            "HARMONY_SIM_ENGINE", "fast")
+
+    def test_env_knob_sets_default(self, monkeypatch):
+        monkeypatch.setenv("HARMONY_SIM_ENGINE", "reference")
+        assert SimConfig().engine == "reference"
+        monkeypatch.delenv("HARMONY_SIM_ENGINE")
+        assert SimConfig().engine == "fast"
+        # Explicit engine= and with_engine() ignore the knob, so the
+        # differential tests pin both engines regardless of the matrix
+        # leg they run on.
+        monkeypatch.setenv("HARMONY_SIM_ENGINE", "reference")
+        assert SimConfig(engine="fast").engine == "fast"
+        assert SimConfig().with_engine("fast").engine == "fast"
+
+    def test_env_knob_rejects_unknown_engine(self, monkeypatch):
+        monkeypatch.setenv("HARMONY_SIM_ENGINE", "vectorized")
+        with pytest.raises(ValueError):
+            SimConfig()
 
     def test_crash_inside_batch_is_rejected(self):
         """A fault delivered to a group mid-batch would corrupt the
