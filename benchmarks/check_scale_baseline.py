@@ -1,0 +1,33 @@
+"""CI regression guard: sharded-scalability timings vs the baseline.
+
+Reads a pytest-benchmark JSON (``scale.json``) and fails — exit code
+1 — when any timing named in ``benchmarks/baseline_scale.json`` exceeds
+its committed baseline by more than ``max_ratio`` (2x by default),
+naming each breaching benchmark with its measured-vs-limit numbers.
+
+The guard only enforces upper bounds, so the sharded scheduler's >= 3x
+speedup floor is committed as ``inverse_speedup`` (sharded seconds /
+unsharded seconds): a run whose sharded win decays pushes that number
+*up* through its budget and fails here, not just in the bench assert.
+
+Usage::
+
+    python benchmarks/check_scale_baseline.py scale.json
+
+Shared engine (timing addressing, budgets, failure reporting):
+``benchmarks/_baseline_guard.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _baseline_guard import run_guard
+
+
+def main(argv: list[str]) -> int:
+    return run_guard("baseline_scale.json", "sharded-scalability", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -8,6 +8,7 @@ Usage::
     python -m repro all --scale 0.25
     python -m repro check --seed 7      # correctness harness (repro.check)
     python -m repro lint                # harmonylint (repro.analysis)
+    python -m repro scale --cells 1,8   # sharded sweep (repro.shard)
 """
 
 from __future__ import annotations
@@ -71,6 +72,9 @@ SUBCOMMANDS = {
     "tournament": ("repro.experiments.tournament",
                    "round-robin scheduler tournament over the policy "
                    "registry (repro.policies)"),
+    "scale": ("repro.shard.cli",
+              "sharded cells x cluster-size scalability sweep "
+              "(repro.shard)"),
 }
 
 

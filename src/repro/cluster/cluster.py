@@ -15,6 +15,27 @@ from repro.config import MachineSpec
 from repro.errors import ClusterError
 
 
+def split_machine_counts(total_machines: int,
+                         n_cells: int) -> tuple[int, ...]:
+    """Near-equal machine counts per scheduling cell, deterministically.
+
+    The canonical split used by the cluster-of-cells sharding layer
+    (:mod:`repro.shard`): the first ``total % n_cells`` cells take one
+    extra machine, so the result depends only on the two integers —
+    never on iteration order.  Every cell must end up with at least
+    one machine.
+    """
+    if n_cells < 1:
+        raise ClusterError(f"need >= 1 cell, got {n_cells}")
+    if total_machines < n_cells:
+        raise ClusterError(
+            f"{n_cells} cells need >= {n_cells} machines, got "
+            f"{total_machines}")
+    base, extra = divmod(total_machines, n_cells)
+    return tuple(base + 1 if index < extra else base
+                 for index in range(n_cells))
+
+
 class Cluster:
     """A homogeneous pool of machines (the paper uses 100 m4.2xlarge)."""
 
@@ -54,6 +75,11 @@ class Cluster:
         if not 0 <= machine_id < self.size:
             raise ClusterError(f"unknown machine id {machine_id}")
         return machine_id in self._failed
+
+    def cell_sizes(self, n_cells: int) -> tuple[int, ...]:
+        """This pool's machine counts when split into ``n_cells``
+        scheduling cells (:func:`split_machine_counts`)."""
+        return split_machine_counts(self.size, n_cells)
 
     def owned_by(self, owner: str) -> tuple[int, ...]:
         """Machine ids currently held by ``owner``."""

@@ -184,6 +184,37 @@ class ExecutionConfig:
 
 
 @dataclass(frozen=True)
+class ShardConfig:
+    """Constants of the cluster-of-cells sharding layer (:mod:`repro.shard`).
+
+    With ``n_cells = 1`` (the default) sharding is inert: the sharded
+    scheduler delegates every call to a single plain
+    :class:`~repro.core.scheduler.HarmonyScheduler` and is pinned
+    bitwise-equal to it by ``tests/test_shard.py``.
+    """
+
+    #: Number of scheduling cells the machine pool is partitioned into.
+    #: Each cell owns an independent Harmony master/scheduler instance
+    #: (with its own plan cache); a thin global placer routes jobs to
+    #: cells with O(#cells) load vectors instead of O(#machines) scans.
+    n_cells: int = 1
+    #: Worker threads for fanning cold per-cell ``schedule()`` calls
+    #: out over a ``concurrent.futures`` pool.  1 = serial; the serial
+    #: and parallel modes are pinned bitwise-equal (cells are
+    #: independent and results merge in deterministic cell order).
+    max_workers: int = 1
+    #: Schedule calls between two cross-cell rebalance checks; 0
+    #: disables periodic rebalancing entirely.
+    rebalance_every: int = 32
+    #: A cell is "hot" when its normalized load exceeds the mean cell
+    #: load by more than this fraction; the rebalancer drains hot cells
+    #: into the coldest ones through the §IV-B4 plan-splice path.
+    rebalance_threshold: float = 0.25
+    #: Most jobs one rebalance pass may migrate between cells.
+    max_rebalance_moves: int = 64
+
+
+@dataclass(frozen=True)
 class PolicyConfig:
     """Constants of the competitor policy zoo (:mod:`repro.policies`).
 
@@ -216,6 +247,9 @@ class SimConfig:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     #: Competitor-policy constants (:mod:`repro.policies`).
     policy: PolicyConfig = field(default_factory=PolicyConfig)
+    #: Cluster-of-cells sharding (:mod:`repro.shard`); inert at the
+    #: default ``n_cells = 1``.
+    shard: ShardConfig = field(default_factory=ShardConfig)
     #: Width of utilization-timeline bins, in seconds (the paper measures
     #: with a 1-minute interval, §V-B).
     utilization_bin_seconds: float = 60.0
@@ -242,6 +276,9 @@ class SimConfig:
 
     def with_engine(self, engine: str) -> "SimConfig":
         return replace(self, engine=engine)
+
+    def with_sharding(self, n_cells: int, **kwargs) -> "SimConfig":
+        return replace(self, shard=ShardConfig(n_cells=n_cells, **kwargs))
 
     def with_tracing(self, enabled: bool = True, **kwargs) -> "SimConfig":
         return replace(self, trace=TraceConfig(enabled=enabled, **kwargs))

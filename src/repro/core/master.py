@@ -17,6 +17,7 @@ under the 5% benefit threshold.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -117,9 +118,20 @@ class HarmonyMaster:
         self.perf_model = perf_model if perf_model is not None \
             else PerfModel(cpu_weight=config.scheduler.cpu_weight)
         # The scheduling algorithm is pluggable so the §V-F Oracle can
-        # drive the very same master (Fig. 14's comparison).
+        # drive the very same master (Fig. 14's comparison).  With
+        # ShardConfig.n_cells > 1 the default becomes the
+        # cluster-of-cells front end (repro.shard) — same schedule()
+        # contract, same plan_cache/last_stats seams below.  Imported
+        # lazily: repro.shard depends on core.scheduler, so a module-
+        # level import here would couple every master import to it.
         if scheduler_factory is None:
-            scheduler_factory = HarmonyScheduler
+            if config.shard.n_cells > 1:
+                from repro.shard.scheduler import ShardedScheduler
+                scheduler_factory = functools.partial(
+                    ShardedScheduler, shard=config.shard,
+                    tracer=sim.tracer)
+            else:
+                scheduler_factory = HarmonyScheduler
         self.scheduler = scheduler_factory(
             perf_model=self.perf_model, config=config.scheduler,
             memory_floor=self._memory_floor)

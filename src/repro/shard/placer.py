@@ -1,0 +1,137 @@
+"""Global placer: O(#cells) job routing for the sharded scheduler.
+
+The placer is the only component that sees every job, and it never
+scans machines: it keeps one scalar load per cell (a weighted-work
+proxy normalized by the cell's machine count) and routes each *new*
+job to the least-loaded cell with a heap keyed on
+``(load, cell_index)``.  Routing is sticky — a job stays in its cell
+across calls until it departs or the rebalancer moves it — so a
+single arrival perturbs exactly one cell and every other cell's
+memoized plan survives (:mod:`repro.shard.cells`).
+
+Everything is deterministic: jobs are considered in pool order, heap
+ties break on the cell index, and no container is iterated in hash
+order (the routing digest is pinned under varying ``PYTHONHASHSEED``
+by ``tests/test_shard.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.core.profiler import JobMetrics
+from repro.core.scheduler import ORDERING_DOP
+from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+def job_weight(job: JobMetrics, cpu_weight: float) -> float:
+    """Scalar load proxy of one job.
+
+    Mirrors the scheduler's scoring split: CPU work dominates with the
+    configured ``cpu_weight``, and the network term is scaled by the
+    ordering DoP so both sides are in comparable per-machine seconds.
+    """
+    return cpu_weight * job.cpu_work \
+        + (1.0 - cpu_weight) * job.t_net * ORDERING_DOP
+
+
+class GlobalPlacer:
+    """Sticky job→cell router with O(#cells) state.
+
+    ``route()`` takes the current job pool and returns the per-cell job
+    tuples (pool order preserved inside each cell).  The sticky
+    assignment map is pruned once it outgrows the live pool, so memory
+    stays proportional to the pool even under heavy churn.
+    """
+
+    def __init__(self, cell_machines: Sequence[int],
+                 cpu_weight: float = 0.75,
+                 tracer: "Tracer | NullTracer | None" = None):
+        self.cell_machines = tuple(cell_machines)
+        if not self.cell_machines or min(self.cell_machines) < 1:
+            raise ValueError(
+                f"every cell needs >= 1 machine, got {cell_machines}")
+        self.cpu_weight = cpu_weight
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: job_id -> cell index; insertion-ordered, never hash-iterated.
+        self._assignment: dict[str, int] = {}
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cell_machines)
+
+    def cell_of(self, job_id: str) -> int | None:
+        """Cell the job is currently routed to, or None if unknown."""
+        return self._assignment.get(job_id)
+
+    def reassign(self, job_id: str, cell_index: int) -> None:
+        """Pin a job to a cell (the rebalancer's migration hook)."""
+        if not 0 <= cell_index < self.n_cells:
+            raise ValueError(
+                f"cell {cell_index} out of range 0..{self.n_cells - 1}")
+        self._assignment[job_id] = cell_index
+
+    def loads(self, jobs: Sequence[JobMetrics]) -> list[float]:
+        """Per-cell normalized load of the already-routed jobs."""
+        loads = [0.0] * self.n_cells
+        for job in jobs:
+            cell = self._assignment.get(job.job_id)
+            if cell is not None:
+                loads[cell] += job_weight(job, self.cpu_weight)
+        return [load / machines for load, machines
+                in zip(loads, self.cell_machines, strict=True)]
+
+    def route(self, jobs: Sequence[JobMetrics]) -> \
+            list[tuple[JobMetrics, ...]]:
+        """Split the pool into per-cell job tuples, routing new jobs.
+
+        Known jobs keep their cell; new jobs go to the least-loaded
+        cell at the moment they are considered (pool order), via a
+        heap of ``(load, cell_index)`` entries — ties break on the
+        cell index, never on object identity or hash order.
+        """
+        by_cell: list[list[JobMetrics]] = \
+            [[] for _ in range(self.n_cells)]
+        new_jobs: list[JobMetrics] = []
+        for job in jobs:
+            cell = self._assignment.get(job.job_id)
+            if cell is None:
+                new_jobs.append(job)
+            else:
+                by_cell[cell].append(job)
+        if new_jobs:
+            loads = [0.0] * self.n_cells
+            for cell, members in enumerate(by_cell):
+                for job in members:
+                    loads[cell] += job_weight(job, self.cpu_weight)
+            heap = [(load / machines, cell)
+                    for cell, (load, machines)
+                    in enumerate(zip(loads, self.cell_machines,
+                                     strict=True))]
+            heapq.heapify(heap)
+            for job in new_jobs:
+                load, cell = heapq.heappop(heap)
+                self._assignment[job.job_id] = cell
+                by_cell[cell].append(job)
+                load += job_weight(job, self.cpu_weight) \
+                    / self.cell_machines[cell]
+                heapq.heappush(heap, (load, cell))
+            self.tracer.instant(
+                "placer.route", cat="shard",
+                args={"new_jobs": len(new_jobs),
+                      "pool": len(jobs)})
+        if len(self._assignment) > 2 * len(jobs) + 64:
+            live = {job.job_id for job in jobs}
+            self._assignment = {
+                job_id: cell
+                for job_id, cell in self._assignment.items()
+                if job_id in live}
+        # New jobs landed after the stickies inside each cell; restore
+        # pool order so per-cell admission matches an unsharded pool.
+        if new_jobs:
+            order = {job.job_id: index
+                     for index, job in enumerate(jobs)}
+            for members in by_cell:
+                members.sort(key=lambda job: order[job.job_id])
+        return [tuple(members) for members in by_cell]

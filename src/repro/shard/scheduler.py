@@ -1,0 +1,322 @@
+"""Sharded scheduling: cells behind a global placer.
+
+:class:`ShardedScheduler` is a drop-in for
+:class:`~repro.core.scheduler.HarmonyScheduler` — same constructor
+seam (``perf_model=``/``config=``/``memory_floor=``), same
+``schedule(jobs, total_machines)`` contract, same ``last_stats`` /
+``plan_cache`` attributes the master introspects — that partitions the
+machine pool into :class:`~repro.shard.cells.Cell` shards and runs one
+independent Algorithm 1 per cell:
+
+* The :class:`~repro.shard.placer.GlobalPlacer` sticks each job to a
+  cell with O(#cells) load vectors, so one arrival dirties exactly one
+  cell; every clean cell answers from its memoized plan without
+  touching Algorithm 1 at all.  That is where the speedup lives: an
+  unsharded scheduler re-plans the *whole* pool per arrival, a sharded
+  one re-plans ``1/n_cells`` of it (see
+  ``benchmarks/bench_scalability.py``).
+* Cold calls (every cell dirty) fan out over a
+  ``concurrent.futures.ThreadPoolExecutor`` when
+  ``ShardConfig.max_workers > 1``.  Cells share nothing mutable, and
+  results are merged in cell order, so serial and parallel modes are
+  pinned plan-equal by ``tests/test_shard.py``.
+* Every ``ShardConfig.rebalance_every`` calls the
+  :mod:`~repro.shard.rebalance` pass drains hot cells; donors keep
+  their plans through the §IV-B4 splice
+  (:func:`repro.core.regroup.splice_plan`) instead of re-planning.
+
+With ``n_cells = 1`` (or a machine pool smaller than the cell count)
+every call delegates to a single plain ``HarmonyScheduler``, which the
+differential suite pins bitwise-equal to the unsharded scheduler.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from repro.config import ShardConfig
+from repro.core.allocation import MemoryFloorFn
+from repro.core.perfmodel import PerfModel
+from repro.core.profiler import JobMetrics
+from repro.core.regroup import splice_plan
+from repro.core.scheduler import (
+    HarmonyScheduler,
+    SchedulePlan,
+    SchedulerConfig,
+    ScheduleStats,
+)
+from repro.errors import SchedulingError
+from repro.shard.cells import Cell, partition_machines
+from repro.shard.placer import GlobalPlacer
+from repro.shard.rebalance import ShardMove, plan_moves
+from repro.trace.tracer import NULL_TRACER
+
+
+class _ShardPlanCache:
+    """``invalidate_job`` facade over every cell's private plan cache.
+
+    The master wires ``profiler.add_listener(plan_cache.invalidate_job)``
+    against whatever ``scheduler.plan_cache`` exposes; this forwards
+    each publish to the solo delegate and all cells, and drops the
+    affected cell's memoized last plan (its job tuple is about to stop
+    matching anyway, but the underlying prefix caches key on
+    fingerprints and must be told explicitly).
+    """
+
+    def __init__(self, owner: "ShardedScheduler"):
+        self._owner = owner
+
+    def invalidate_job(self, job_id: str) -> None:
+        solo_cache = self._owner._solo.plan_cache
+        if solo_cache is not None:
+            solo_cache.invalidate_job(job_id)
+        for cell in self._owner._cells:
+            cache = cell.scheduler.plan_cache
+            if cache is not None:
+                cache.invalidate_job(job_id)
+            if cell.last_key is not None and any(
+                    job.job_id == job_id for job in cell.last_key[0]):
+                cell.forget()
+
+
+class ShardedScheduler:
+    """Cluster-of-cells front end over per-cell Harmony schedulers."""
+
+    def __init__(self, perf_model: PerfModel | None = None,
+                 config: SchedulerConfig | None = None,
+                 memory_floor: MemoryFloorFn | None = None,
+                 shard: ShardConfig | None = None,
+                 tracer=None):
+        self.config = config if config is not None else SchedulerConfig()
+        self.perf_model = perf_model if perf_model is not None \
+            else PerfModel(cpu_weight=self.config.cpu_weight)
+        self.memory_floor = memory_floor
+        self.shard = shard if shard is not None else ShardConfig()
+        if self.shard.n_cells < 1:
+            raise SchedulingError(
+                f"n_cells must be >= 1, got {self.shard.n_cells}")
+        if self.shard.max_workers < 1:
+            raise SchedulingError(
+                f"max_workers must be >= 1, got {self.shard.max_workers}")
+        tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = tracer if tracer.enabled else None
+        self._trace_track = (
+            tracer.track("shard", "cells", process_sort=1)
+            if self._trace is not None else None)
+        #: Delegate for the inert configurations (``n_cells == 1`` or a
+        #: pool too small to split) — pinned bitwise-equal to an
+        #: unsharded ``HarmonyScheduler`` because it *is* one.
+        self._solo = HarmonyScheduler(perf_model=self.perf_model,
+                                      config=self.config,
+                                      memory_floor=memory_floor)
+        self._cells: list[Cell] = []
+        self._placer: GlobalPlacer | None = None
+        self._total_machines: int | None = None
+        self._calls = 0
+        #: Shape of the most recent call, mirroring the unsharded
+        #: scheduler's attribute (aggregated across cells).
+        self.last_stats: ScheduleStats | None = None
+        self.plan_cache = _ShardPlanCache(self)
+        #: Rebalance accounting, for experiments and tests.
+        self.jobs_rebalanced = 0
+
+    # -- cell pool ---------------------------------------------------------
+
+    def _rebuild_cells(self, total_machines: int) -> None:
+        machines = partition_machines(total_machines, self.shard.n_cells)
+        self._cells = [
+            Cell(index, n_machines, perf_model=self.perf_model,
+                 config=self.config, memory_floor=self.memory_floor)
+            for index, n_machines in enumerate(machines)]
+        self._placer = GlobalPlacer(
+            machines, cpu_weight=self.config.cpu_weight,
+            tracer=self._trace if self._trace is not None
+            else NULL_TRACER)
+        self._total_machines = total_machines
+
+    # -- the schedule contract --------------------------------------------
+
+    def schedule(self, jobs: Sequence[JobMetrics],
+                 total_machines: int) -> SchedulePlan | None:
+        """Route, (re)plan dirty cells, merge in cell order."""
+        if total_machines < 1:
+            raise SchedulingError(
+                f"total_machines must be >= 1, got {total_machines}")
+        if not jobs:
+            return None
+        if self.shard.n_cells == 1 or total_machines < self.shard.n_cells:
+            plan = self._solo.schedule(jobs, total_machines)
+            self.last_stats = self._solo.last_stats
+            return plan
+        if self._total_machines != total_machines:
+            self._rebuild_cells(total_machines)
+        self._calls += 1
+        routed = self._placer.route(jobs)
+        if (self.shard.rebalance_every > 0
+                and self._calls % self.shard.rebalance_every == 0):
+            routed = self._rebalance(routed, jobs)
+        plans, stats, n_skipped = self._schedule_cells(routed)
+        merged = self._merge(plans, total_machines)
+        self.last_stats = ScheduleStats(
+            n_jobs_offered=len(jobs),
+            n_prefixes_evaluated=sum(
+                s.n_prefixes_evaluated for s in stats),
+            best_n_groups=len(merged.groups) if merged is not None else 0,
+            best_n_jobs=(len(merged.scheduled_job_ids)
+                         if merged is not None else 0),
+            best_score=merged.score if merged is not None else 0.0,
+            cache_hits=sum(s.cache_hits for s in stats),
+            cache_misses=sum(s.cache_misses for s in stats),
+            warm_start_reuses=sum(s.warm_start_reuses for s in stats),
+            fast_path=(n_skipped > 0
+                       or any(s.fast_path for s in stats)))
+        return merged
+
+    def _schedule_cells(self, routed: Sequence[tuple[JobMetrics, ...]]) \
+            -> tuple[list[SchedulePlan | None], list[ScheduleStats], int]:
+        """Run Algorithm 1 in every dirty cell; skip clean ones.
+
+        Dirty cells fan out over a thread pool when configured; each
+        cell's scheduler instance sees the same call sequence either
+        way, so serial and parallel modes produce equal plans.
+        """
+        occupied = sum(1 for members in routed if members)
+        dirty = [cell for cell, members
+                 in zip(self._cells, routed, strict=True)
+                 if members and not cell.unchanged(members)]
+        if self._trace is not None:
+            self._trace.counter("shard.cells_rescheduled").add(len(dirty))
+        if len(dirty) > 1 and self.shard.max_workers > 1:
+            with ThreadPoolExecutor(
+                    max_workers=self.shard.max_workers) as pool:
+                futures = [
+                    pool.submit(cell.scheduler.schedule,
+                                routed[cell.index], cell.n_machines)
+                    for cell in dirty]
+                for cell, future in zip(dirty, futures, strict=True):
+                    self._finish_cell(cell, routed[cell.index],
+                                      future.result)
+        else:
+            for cell in dirty:
+                self._finish_cell(cell, routed[cell.index],
+                                  partial(cell.scheduler.schedule,
+                                          routed[cell.index],
+                                          cell.n_machines))
+        plans = [cell.last_plan if members else None
+                 for cell, members
+                 in zip(self._cells, routed, strict=True)]
+        stats = [cell.scheduler.last_stats for cell in dirty
+                 if cell.scheduler.last_stats is not None]
+        return plans, stats, occupied - len(dirty)
+
+    def _finish_cell(self, cell: Cell, members: tuple[JobMetrics, ...],
+                     result) -> None:
+        """Resolve one dirty cell's plan under a per-cell trace span.
+
+        ``result`` is a no-arg callable (a bound ``schedule`` in serial
+        mode, a future's ``.result`` in parallel mode) so the span —
+        emitted from the coordinator thread only — covers the compute
+        or the wait, whichever this mode pays.
+        """
+        if self._trace is None:
+            cell.remember(members, result())
+            return
+        span = self._trace.begin(self._trace_track,
+                                 f"cell·{cell.index}", cat="shard")
+        plan = result()
+        self._trace.end(span, args={
+            "jobs": len(members),
+            "placed": (len(plan.scheduled_job_ids)
+                       if plan is not None else 0)})
+        cell.remember(members, plan)
+
+    def _merge(self, plans: Sequence[SchedulePlan | None],
+               total_machines: int) -> SchedulePlan | None:
+        """Concatenate per-cell groups and re-score at pool scope.
+
+        Pure arithmetic over the cells' group estimates, in fixed cell
+        order — the merge itself can never perturb a plan, so equal
+        per-cell plans imply an equal merged plan.
+        """
+        groups = tuple(group for plan in plans if plan is not None
+                       for group in plan.groups)
+        if not groups:
+            return None
+        utilization = self.perf_model.cluster_utilization(
+            [group.estimate for group in groups],
+            total_machines=total_machines)
+        return SchedulePlan(groups=groups, utilization=utilization,
+                            score=self.perf_model.score(utilization),
+                            total_machines=total_machines)
+
+    # -- rebalancing -------------------------------------------------------
+
+    def _rebalance(self, routed: list[tuple[JobMetrics, ...]],
+                   jobs: Sequence[JobMetrics]) \
+            -> list[tuple[JobMetrics, ...]]:
+        """Apply the cross-cell drain pass to this call's routing."""
+        moves = plan_moves(
+            routed, [cell.n_machines for cell in self._cells],
+            cpu_weight=self.config.cpu_weight,
+            threshold=self.shard.rebalance_threshold,
+            max_moves=self.shard.max_rebalance_moves)
+        if not moves:
+            return routed
+        members = [list(cell_members) for cell_members in routed]
+        for move in moves:
+            self._placer.reassign(move.job.job_id, move.target)
+            members[move.source].remove(move.job)
+            members[move.target].append(move.job)
+        # Receivers take migrants at the pool-order position an
+        # unsharded admission would see them in.
+        order = {job.job_id: index for index, job in enumerate(jobs)}
+        for target in sorted({move.target for move in moves}):
+            members[target].sort(key=lambda job: order[job.job_id])
+        rerouted = [tuple(cell_members) for cell_members in members]
+        for source in sorted({move.source for move in moves}):
+            self._patch_donor(
+                self._cells[source], routed[source], rerouted[source],
+                [move for move in moves if move.source == source])
+        self.jobs_rebalanced += len(moves)
+        if self._trace is not None:
+            self._trace.instant(
+                "shard.rebalance", cat="shard", track=self._trace_track,
+                args={"moves": len(moves)})
+            self._trace.counter("shard.jobs_moved").add(len(moves))
+        return rerouted
+
+    def _patch_donor(self, cell: Cell,
+                     before: tuple[JobMetrics, ...],
+                     after: tuple[JobMetrics, ...],
+                     moves: Sequence[ShardMove]) -> None:
+        """Keep the donor's memoized plan alive through the §IV-B4 splice.
+
+        Each departing job is dropped from its group and the plan
+        re-scored (:func:`splice_plan`); the patch is accepted only
+        while the score stays within the regroup-benefit threshold of
+        the original, mirroring the master's patch-vs-escalate rule.
+        On any mismatch the memo is simply forgotten and the donor
+        re-plans on this call — correct, just slower.
+        """
+        plan = cell.last_plan
+        if plan is None or cell.last_key is None \
+                or cell.last_key[0] != before:
+            cell.forget()
+            return
+        metrics_by_id = {job.job_id: job for job in before}
+        for move in moves:
+            group_index = next(
+                (index for index, group in enumerate(plan.groups)
+                 if move.job.job_id in group.job_ids), None)
+            if group_index is None:
+                continue  # never placed; dropping it changes nothing
+            plan = splice_plan(plan, self.perf_model, group_index,
+                               move.job.job_id, (),
+                               metrics_for=metrics_by_id.__getitem__)
+        threshold = self.config.regroup_benefit_threshold
+        if plan.score < cell.last_plan.score * (1.0 - threshold):
+            cell.forget()
+            return
+        cell.remember(after, plan)

@@ -32,6 +32,9 @@ INSTANT_NAMES = frozenset({
     # the FaultKind values verbatim.
     "fault-detected", "repair",
     "machine_crash", "machine_slowdown", "network_drop",
+    # sharded scheduling (repro.shard): placer routing decisions and
+    # cross-cell rebalance passes.
+    "placer.route", "shard.rebalance",
 })
 
 #: Counter names; ``*`` stands for one interpolated component.
@@ -43,6 +46,8 @@ COUNTER_NAMES = frozenset({
     "*.barrier_wait_seconds", "*.stall_seconds", "*.gc_seconds",
     "*.reloads", "*.reload_bytes",
     "job.*.checkpoints", "job.*.barrier_wait_seconds",
+    # sharded scheduling (repro.shard)
+    "shard.cells_rescheduled", "shard.jobs_moved",
 })
 
 #: Gauge names (includes the ``trace_gauge`` lanes of RateResource).
@@ -55,6 +60,8 @@ GAUGE_NAMES = frozenset({
 SPAN_NAMES = frozenset({
     "COMP", "PULL", "PUSH", "RELOAD", "CHECKPOINT", "RELOAD-STALL",
     "wait·*", "barrier·*",
+    # per-cell schedule spans of the sharded scheduler (repro.shard)
+    "cell·*",
 })
 
 
