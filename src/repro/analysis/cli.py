@@ -5,8 +5,16 @@ Usage::
     python -m repro lint                      # lint src/ (+benchmarks/)
     python -m repro lint src/repro/core       # narrow the scope
     python -m repro lint --format=json        # machine-readable report
+    python -m repro lint --format=sarif       # CI inline annotations
+    python -m repro lint --changed-only       # only files in git diff
     python -m repro lint --write-baseline     # adopt current findings
     python -m repro lint --list-rules         # rule catalogue
+
+``--changed-only`` resolves the file set from ``git diff --name-only
+<base>`` (``--base``, default HEAD); the whole tree is still parsed so
+project-level rules (CACHE001, CONC001–003) keep their cross-file
+models, but only findings in changed files are reported — pre-commit
+runs stay fast and focused on a 155+-file tree.
 
 Exit codes: 0 clean (everything fixed, suppressed, or baselined),
 1 findings, 2 usage error.
@@ -17,11 +25,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.engine import AnalysisConfig, Analyzer
 from repro.analysis.findings import AnalysisReport, FAMILIES
+from repro.analysis.sarif import render_sarif
 from repro.analysis.visitors import REGISTRY
 
 _DEFAULT_PATHS = ("src", "benchmarks")
@@ -57,6 +67,23 @@ def _render_json(report: AnalysisReport) -> str:
     }, indent=2)
 
 
+def _changed_paths(root: str, base: str) -> "set[str] | None":
+    """Repo-relative ``.py`` paths changed since ``base``, or None when
+    git cannot answer (not a repo, unknown ref, no git)."""
+    try:
+        completed = subprocess.run(
+            ["git", "diff", "--name-only", base],
+            cwd=root, capture_output=True, text=True, timeout=30,
+            check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return {line.strip().replace(os.sep, "/")
+            for line in completed.stdout.splitlines()
+            if line.strip().endswith(".py")}
+
+
 def _list_rules() -> str:
     lines = ["harmonylint rules:"]
     family = None
@@ -79,8 +106,15 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("paths", nargs="*",
                         help="files/directories to lint "
                              "(default: src/ and benchmarks/)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report findings only for files changed "
+                             "since --base (the whole tree is still "
+                             "parsed for cross-file rules)")
+    parser.add_argument("--base", default="HEAD",
+                        help="git ref --changed-only diffs against "
+                             "(default: HEAD)")
     parser.add_argument("--root", default=".",
                         help="repo root findings are reported "
                              "relative to")
@@ -112,6 +146,15 @@ def main(argv: "list[str] | None" = None) -> int:
               f"--list-rules", file=sys.stderr)
         return 2
 
+    report_paths = None
+    if args.changed_only:
+        report_paths = _changed_paths(args.root, args.base)
+        if report_paths is None:
+            print(f"--changed-only: git diff --name-only {args.base} "
+                  f"failed (not a git checkout, or unknown ref)",
+                  file=sys.stderr)
+            return 2
+
     # --write-baseline computes with the baseline off so existing
     # entries are refreshed rather than layered on top of themselves.
     use_baseline = not (args.no_baseline or args.write_baseline)
@@ -119,7 +162,8 @@ def main(argv: "list[str] | None" = None) -> int:
         paths=list(args.paths) or _default_paths(args.root),
         select=set(args.select),
         baseline_path=args.baseline if use_baseline else None,
-        root=args.root)
+        root=args.root,
+        report_paths=report_paths)
 
     if args.write_baseline:
         report = Analyzer(config).run()
@@ -132,8 +176,12 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
 
     report = Analyzer(config).run()
-    rendered = _render_json(report) if args.format == "json" \
-        else _render_text(report, args.verbose)
+    if args.format == "json":
+        rendered = _render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = _render_text(report, args.verbose)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis import (  # noqa: F401  (rule registration side effect)
     rules_cache,
+    rules_conc,
     rules_det,
     rules_sim,
     rules_trc,
@@ -41,6 +42,11 @@ class AnalysisConfig:
     baseline_path: str | None = "lint-baseline.json"
     #: Root that finding paths are reported relative to.
     root: str = "."
+    #: When set (``--changed-only``), every file is still *parsed* —
+    #: project rules need the whole tree to build their cross-file
+    #: models — but per-file rules only run on these paths and
+    #: project-rule findings outside them are dropped.
+    report_paths: set[str] | None = None
 
 
 def collect_sources(paths: list[str], root: str = ".") -> list[str]:
@@ -97,8 +103,11 @@ class Analyzer:
                     message=f"file does not parse: {error.msg}"))
         report.n_files = len(contexts)
 
+        scoped = self.config.report_paths
         raw: list[tuple[FileContext | None, Finding]] = []
         for ctx in contexts:
+            if scoped is not None and ctx.path not in scoped:
+                continue
             for rule in self.rules:
                 if rule.project_level:
                     continue
@@ -108,6 +117,9 @@ class Analyzer:
             if rule.project_level:
                 by_path = {ctx.path: ctx for ctx in contexts}
                 for finding in rule.check_project(contexts):
+                    if scoped is not None and \
+                            finding.path not in scoped:
+                        continue
                     raw.append((by_path.get(finding.path), finding))
 
         baseline = Baseline.load(self._baseline_file()) \

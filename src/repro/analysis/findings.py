@@ -10,12 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-#: The four rule families (see README "Static analysis").
+#: The rule families (see README "Static analysis").
 FAMILIES = {
     "DET": "determinism",
     "SIM": "simulation safety",
     "TRC": "trace hygiene",
     "CACHE": "plan-cache fingerprint coverage",
+    "CONC": "concurrency discipline",
 }
 
 

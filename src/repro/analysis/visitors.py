@@ -14,6 +14,7 @@ the module wrote ``import time``, ``import time as _time``, or
 from __future__ import annotations
 
 import ast
+import builtins
 import re
 from collections.abc import Iterable
 from dataclasses import dataclass, field
@@ -53,7 +54,14 @@ class FileContext:
         lines = source.splitlines()
         return cls(path=path, source=source, tree=tree, lines=lines,
                    suppressions=parse_suppressions(lines),
-                   imports=ImportMap.of(tree))
+                   imports=ImportMap.of(
+                       tree, module=module_name(path),
+                       is_package=path.endswith("__init__.py")))
+
+    @property
+    def module(self) -> str:
+        """Dotted module name this file defines (see :func:`module_name`)."""
+        return self.imports.module or module_name(self.path)
 
     def snippet(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -72,16 +80,41 @@ class FileContext:
         return any(part in components for part in parts)
 
 
+def module_name(path: str) -> str:
+    """Dotted module name for a repo-relative source path.
+
+    ``src/repro/shard/scheduler.py`` -> ``repro.shard.scheduler``;
+    a package ``__init__.py`` names the package itself.
+    """
+    parts = [part for part in re.split(r"[\\/]", path) if part]
+    if parts and parts[0] in {"src", "lib"}:
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
 class ImportMap:
     """Alias -> dotted-module resolution for one module."""
 
-    def __init__(self) -> None:
+    def __init__(self, module: str | None = None,
+                 is_package: bool = False) -> None:
         #: local name -> fully qualified dotted name it stands for.
         self.aliases: dict[str, str] = {}
+        #: Dotted name of the module the map was built for (enables
+        #: relative-import resolution); None when unknown.
+        self.module = module
+        self.is_package = is_package
+        #: Modules star-imported (``from x import *``): a fallback
+        #: namespace for otherwise-unresolvable bare names.
+        self.star_modules: list[str] = []
 
     @classmethod
-    def of(cls, tree: ast.Module) -> "ImportMap":
-        imports = cls()
+    def of(cls, tree: ast.Module, module: str | None = None,
+           is_package: bool = False) -> "ImportMap":
+        imports = cls(module, is_package)
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -89,20 +122,50 @@ class ImportMap:
                     target = alias.name if alias.asname else \
                         alias.name.split(".")[0]
                     imports.aliases[local] = target
-            elif isinstance(node, ast.ImportFrom) and node.module \
-                    and not node.level:
+            elif isinstance(node, ast.ImportFrom):
+                base = imports._from_base(node)
+                if base is None:
+                    continue
                 for alias in node.names:
+                    if alias.name == "*":
+                        imports.star_modules.append(base)
+                        continue
                     local = alias.asname or alias.name
-                    imports.aliases[local] = \
-                        f"{node.module}.{alias.name}"
+                    imports.aliases[local] = f"{base}.{alias.name}"
         return imports
+
+    def _from_base(self, node: ast.ImportFrom) -> str | None:
+        """The absolute module a ``from ... import`` pulls names from.
+
+        Relative imports resolve against :attr:`module` (``from .cells
+        import Cell`` inside ``repro.shard.scheduler`` resolves to
+        ``repro.shard.cells``); with no module known they stay
+        unresolvable and the names are simply not mapped.
+        """
+        if not node.level:
+            return node.module
+        if self.module is None:
+            return None
+        # Level 1 is the containing package: the module itself for an
+        # __init__.py, its parent otherwise; each further level climbs.
+        package = self.module.split(".")
+        drop = node.level - 1 if self.is_package else node.level
+        if drop > len(package):
+            return None
+        if drop:
+            package = package[:-drop]
+        if node.module:
+            package = package + node.module.split(".")
+        return ".".join(package) or None
 
     def qualify(self, node: ast.expr) -> str | None:
         """Dotted name of ``node`` with import aliases resolved.
 
         ``pc()`` where ``from time import perf_counter as pc`` resolves
         to ``time.perf_counter``; ``np.random.rand`` resolves to
-        ``numpy.random.rand``.  Returns None for non-name expressions.
+        ``numpy.random.rand``.  A bare name that matches no alias and
+        no builtin falls back to the single star-imported module when
+        there is exactly one.  Returns None for non-name expressions.
         """
         parts: list[str] = []
         current = node
@@ -111,7 +174,15 @@ class ImportMap:
             current = current.value
         if not isinstance(current, ast.Name):
             return None
-        parts.append(self.aliases.get(current.id, current.id))
+        root = current.id
+        if root in self.aliases:
+            resolved = self.aliases[root]
+        elif len(self.star_modules) == 1 and \
+                not hasattr(builtins, root):
+            resolved = f"{self.star_modules[0]}.{root}"
+        else:
+            resolved = root
+        parts.append(resolved)
         return ".".join(reversed(parts))
 
 

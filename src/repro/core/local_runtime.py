@@ -192,7 +192,6 @@ class LocalHarmonyRuntime:
                         {k: deltas[k] for k in keys})
 
         started = self._clock()
-        losses: list[float] = []
         stop_event = threading.Event()
 
         def worker(worker_id: int) -> None:
@@ -228,8 +227,6 @@ class LocalHarmonyRuntime:
                         m=job.n_workers)
                     stop = board.report(epoch, loss,
                                         timeout=self._barrier_timeout)
-                    if worker_id == 0:
-                        losses.append(loss)
                     if stop:
                         break
             except BaseException as error:  # noqa: BLE001 - joined later

@@ -13,6 +13,7 @@ average remains meaningful across regroupings.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 
@@ -133,6 +134,11 @@ class Profiler:
         if not 0.0 < ema_alpha <= 1.0:
             raise SchedulingError(f"ema_alpha {ema_alpha} not in (0, 1]")
         self.ema_alpha = ema_alpha
+        # The local runtime's worker threads call record_iteration
+        # concurrently (one per worker per epoch); the read-modify-write
+        # EMA fold and the version bump must be atomic or folds are
+        # lost.  RLock because _publish runs under the same lock.
+        self._lock = threading.RLock()
         self._metrics: dict[str, JobMetrics] = {}
         #: Bumped on every record/forget; caches stamp entries with it.
         self.version = 0
@@ -140,9 +146,13 @@ class Profiler:
 
     def add_listener(self, listener: MetricsListener) -> None:
         """Subscribe to metric updates (cache-invalidation hook)."""
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def _publish(self, job_id: str) -> None:
+        # Called with the lock held: listeners are fast cache
+        # invalidations and must observe the bumped version atomically
+        # with the metrics change they are being notified about.
         self.version += 1
         for listener in self._listeners:
             listener(job_id)
@@ -162,50 +172,58 @@ class Profiler:
         if m < 1:
             raise SchedulingError(f"DoP must be >= 1, got {m}")
         work = t_cpu * m
-        current = self._metrics.get(job_id)
-        if current is None:
-            updated = JobMetrics(job_id=job_id, cpu_work=work, t_net=t_net,
-                                 m_observed=m, samples=1)
-        else:
-            # Bias-corrected EMA: with a plain EMA the first observation
-            # enters with full weight, so one iteration measured at an
-            # atypical DoP (or hit by a straggler) skews the average for
-            # the job's whole lifetime.  Scaling the step by
-            # 1 / (1 - (1-a)^t) makes the first few samples an ordinary
-            # arithmetic mean that smoothly turns into the steady-state
-            # EMA — the moving average §IV-B1 intends.
-            a = self.ema_alpha
-            samples = current.samples + 1
-            if a < 1.0:
-                a = a / (1.0 - (1.0 - a) ** samples)
-            updated = JobMetrics(
-                job_id=job_id,
-                cpu_work=(1 - a) * current.cpu_work + a * work,
-                t_net=(1 - a) * current.t_net + a * t_net,
-                m_observed=m,
-                samples=samples)
-        self._metrics[job_id] = updated
-        self._publish(job_id)
-        return updated
+        with self._lock:
+            current = self._metrics.get(job_id)
+            if current is None:
+                updated = JobMetrics(job_id=job_id, cpu_work=work,
+                                     t_net=t_net, m_observed=m,
+                                     samples=1)
+            else:
+                # Bias-corrected EMA: with a plain EMA the first
+                # observation enters with full weight, so one iteration
+                # measured at an atypical DoP (or hit by a straggler)
+                # skews the average for the job's whole lifetime.
+                # Scaling the step by 1 / (1 - (1-a)^t) makes the first
+                # few samples an ordinary arithmetic mean that smoothly
+                # turns into the steady-state EMA — the moving average
+                # §IV-B1 intends.
+                a = self.ema_alpha
+                samples = current.samples + 1
+                if a < 1.0:
+                    a = a / (1.0 - (1.0 - a) ** samples)
+                updated = JobMetrics(
+                    job_id=job_id,
+                    cpu_work=(1 - a) * current.cpu_work + a * work,
+                    t_net=(1 - a) * current.t_net + a * t_net,
+                    m_observed=m,
+                    samples=samples)
+            self._metrics[job_id] = updated
+            self._publish(job_id)
+            return updated
 
     # -- queries -----------------------------------------------------------
 
     def has(self, job_id: str) -> bool:
-        return job_id in self._metrics
+        with self._lock:
+            return job_id in self._metrics
 
     def get(self, job_id: str) -> JobMetrics:
-        metrics = self._metrics.get(job_id)
+        with self._lock:
+            metrics = self._metrics.get(job_id)
         if metrics is None:
             raise SchedulingError(f"job {job_id} has not been profiled")
         return metrics
 
     def forget(self, job_id: str) -> None:
         """Drop a finished job's metrics."""
-        if self._metrics.pop(job_id, None) is not None:
-            self._publish(job_id)
+        with self._lock:
+            if self._metrics.pop(job_id, None) is not None:
+                self._publish(job_id)
 
     def known_jobs(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)

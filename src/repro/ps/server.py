@@ -67,8 +67,9 @@ class PSServer:
     def handle_push(self, worker_id: int,
                     deltas: Mapping[str, np.ndarray], clock: int) -> None:
         """Apply a worker's deltas for iteration ``clock``."""
-        if worker_id not in self._pushed_at:
-            raise PSError(f"unknown worker {worker_id}")
+        with self._condition:
+            if worker_id not in self._pushed_at:
+                raise PSError(f"unknown worker {worker_id}")
         self.store.update(dict(deltas))
         with self._condition:
             if clock <= self._pushed_at[worker_id]:

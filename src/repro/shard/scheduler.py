@@ -192,6 +192,10 @@ class ShardedScheduler:
             with ThreadPoolExecutor(
                     max_workers=self.shard.max_workers) as pool:
                 futures = [
+                    # One submit per cell: each mutates only its own
+                    # scheduler; the shared perf_model/config stay
+                    # read-only during schedule.
+                    # harmony: allow[CONC002] cells share nothing mutable
                     pool.submit(cell.scheduler.schedule,
                                 routed[cell.index], cell.n_machines)
                     for cell in dirty]

@@ -17,6 +17,34 @@ def pytest_addoption(parser):
         "--checked", action="store_true", default=False,
         help="run every HarmonyRuntime.run() through the repro.check "
              "invariant checker (fails the test on any violation)")
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="instrument threading.Lock/RLock (and everything built on "
+             "them: Condition, Semaphore, Event, ...) with the "
+             "repro.analysis.sanitizer race detector; any lock-order "
+             "inversion, foreign release, or watched-object race fails "
+             "the test")
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_mode(request):
+    """Opt-in dynamic race detection: ``pytest --sanitize`` runs each
+    test with instrumented locks and fails it on recorded violations.
+
+    A fresh :class:`Sanitizer` per test keeps one test's lock-order
+    edges from poisoning another's graph."""
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    from repro.analysis.sanitizer import Sanitizer, install, uninstall
+
+    sanitizer = Sanitizer(name=request.node.nodeid)
+    install(sanitizer)
+    try:
+        yield
+    finally:
+        uninstall()
+    sanitizer.check()
 
 
 @pytest.fixture(autouse=True)

@@ -3,8 +3,10 @@ small fixtures (positive flagged / negative clean), suppression
 comments, the expiring baseline, the CLI, and self-application to
 this repository's own tree."""
 
+import ast
 import json
 import os
+import shutil
 import subprocess
 import sys
 import textwrap
@@ -20,6 +22,7 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.cli import main as lint_main
 from repro.analysis.findings import FAMILIES
+from repro.analysis.visitors import ImportMap, module_name
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -414,8 +417,63 @@ class TestBaseline:
         assert report.stale_baseline_entries
 
 
+CONC_MIXED_DISCIPLINE = textwrap.dedent("""
+    import threading
+
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+
+        def put(self, key, value):
+            with self._lock:
+                self._items[key] = value
+
+        def drop(self, key):
+            self._items.pop(key, None)
+    """)
+
+CONC_POOL_MUTATION = textwrap.dedent("""
+    from concurrent.futures import ThreadPoolExecutor
+
+
+    class Fan:
+        def __init__(self):
+            self.results = []
+
+        def work(self, item):
+            self.results.append(item)
+
+        def run(self, items):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                for item in items:
+                    pool.submit(self.work, item)
+    """)
+
+CONC_LOCK_CYCLE = textwrap.dedent("""
+    import threading
+
+
+    class Pipeline:
+        def __init__(self):
+            self._head = threading.Lock()
+            self._tail = threading.Lock()
+
+        def forward(self):
+            with self._head:
+                with self._tail:
+                    pass
+
+        def backward(self):
+            with self._tail:
+                with self._head:
+                    pass
+    """)
+
+
 #: Fixtures that must trip each registered rule: the coverage floor
-#: the issue asks for (>= 12 distinct rule ids across 4 families).
+#: the issue asks for (>= 12 distinct rule ids across all families).
 _POSITIVE_FIXTURES = {
     "DET001": {"src/repro/core/x.py":
                "import time\nt = time.time()\n"},
@@ -462,6 +520,12 @@ _POSITIVE_FIXTURES = {
         "src/repro/core/scheduler.py": CACHE_FINGERPRINT_PARTIAL,
         "src/repro/core/grouping.py":
             "def score(m):\n    return m.t_net\n"},
+    "CONC001": {"src/repro/core/x.py": CONC_MIXED_DISCIPLINE},
+    "CONC002": {"src/repro/core/x.py": CONC_POOL_MUTATION},
+    "CONC003": {"src/repro/core/x.py": CONC_LOCK_CYCLE},
+    "CONC004": {"src/repro/core/x.py":
+                SIM_HEADER + "import threading\n"
+                             "lock = threading.Lock()\n"},
 }
 
 
@@ -480,7 +544,7 @@ class TestRuleCoverage:
         report = lint(tmp_path, _POSITIVE_FIXTURES[rule_id])
         assert rule_id in rule_ids(report)
 
-    def test_twelve_distinct_ids_across_four_families(self, tmp_path):
+    def test_twelve_distinct_ids_across_all_families(self, tmp_path):
         seen = set()
         for index, (_rule_id, files) in enumerate(
                 sorted(_POSITIVE_FIXTURES.items())):
@@ -574,3 +638,474 @@ class TestSelfApplication:
         payload = json.loads(proc.stdout)
         flagged = {f["rule"] for f in payload["findings"]}
         assert "DET001" in flagged
+
+
+class TestConcFamily:
+    def test_mixed_discipline_flagged(self, tmp_path):
+        report = lint(tmp_path,
+                      {"src/repro/core/x.py": CONC_MIXED_DISCIPLINE},
+                      select=["CONC001"])
+        assert "CONC001" in rule_ids(report)
+        assert "Store._items" in report.findings[0].message
+        assert "Store._lock" in report.findings[0].message
+
+    def test_unguarded_read_flagged(self, tmp_path):
+        """The PSServer pattern: a read outside the lock of a field
+        that is mutated under it."""
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._seen = {}
+
+                def mark(self, key):
+                    with self._lock:
+                        self._seen[key] = True
+
+                def peek(self, key):
+                    return key in self._seen
+            """}, select=["CONC001"])
+        assert "CONC001" in rule_ids(report)
+        assert "read" in report.findings[0].message
+
+    def test_consistent_discipline_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def drop(self, key):
+                    with self._lock:
+                        self._items.pop(key, None)
+            """}, select=["CONC001"])
+        assert not report.findings
+
+    def test_try_finally_acquire_counts_as_guarded(self, tmp_path):
+        """Manual acquire()/release() in try/finally is the same
+        discipline as ``with`` — no finding."""
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def drop(self, key):
+                    self._lock.acquire()
+                    try:
+                        self._items.pop(key, None)
+                    finally:
+                        self._lock.release()
+            """}, select=["CONC001"])
+        assert not report.findings
+
+    def test_release_before_write_flagged(self, tmp_path):
+        """A write *after* the finally-release is outside the lock."""
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def drop(self, key):
+                    self._lock.acquire()
+                    try:
+                        pass
+                    finally:
+                        self._lock.release()
+                    self._items.pop(key, None)
+            """}, select=["CONC001"])
+        assert "CONC001" in rule_ids(report)
+
+    def test_nested_with_counts_as_guarded(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self._x = 0
+
+                def bump(self):
+                    with self._a:
+                        with self._b:
+                            self._x += 1
+
+                def read(self):
+                    with self._b:
+                        return self._x
+            """}, select=["CONC001", "CONC003"])
+        assert not report.findings
+
+    def test_private_helper_inherits_lock_context(self, tmp_path):
+        """A private method only ever called under the lock is
+        guarded by propagation, not flagged."""
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+
+                def _bump_locked(self):
+                    self._n += 1
+            """}, select=["CONC001"])
+        assert not report.findings
+
+    def test_pool_submit_unguarded_mutation_flagged(self, tmp_path):
+        """The acceptance scenario: a ThreadPoolExecutor fan-out whose
+        callable mutates shared state without a lock is detected."""
+        report = lint(tmp_path,
+                      {"src/repro/core/x.py": CONC_POOL_MUTATION},
+                      select=["CONC002"])
+        assert "CONC002" in rule_ids(report)
+        assert "unsynchronized" in report.findings[0].message
+
+    def test_thread_target_captured_mutation_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Launcher:
+                def run(self):
+                    errors = []
+
+                    def worker():
+                        errors.append(1)
+
+                    thread = threading.Thread(target=worker)
+                    thread.start()
+                    return errors
+            """}, select=["CONC002"])
+        assert "CONC002" in rule_ids(report)
+        assert "errors" in report.findings[0].message
+
+    def test_thread_target_guarded_by_local_lock_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Launcher:
+                def run(self):
+                    lock = threading.Lock()
+                    errors = []
+
+                    def worker():
+                        with lock:
+                            errors.append(1)
+
+                    thread = threading.Thread(target=worker)
+                    thread.start()
+                    return errors
+            """}, select=["CONC002"])
+        assert not report.findings
+
+    def test_thread_local_state_clean(self, tmp_path):
+        """Objects constructed inside the thread body are thread-local
+        and need no synchronization."""
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Launcher:
+                def run(self):
+                    def worker():
+                        scratch = []
+                        scratch.append(1)
+                        return scratch
+
+                    thread = threading.Thread(target=worker)
+                    thread.start()
+            """}, select=["CONC002"])
+        assert not report.findings
+
+    def test_queue_is_threadsafe_by_contract(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import queue
+            import threading
+
+
+            class Launcher:
+                def run(self):
+                    results = queue.Queue()
+
+                    def worker():
+                        results.put(1)
+
+                    thread = threading.Thread(target=worker)
+                    thread.start()
+                    return results
+            """}, select=["CONC002"])
+        assert not report.findings
+
+    def test_pool_submit_guarded_method_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            class Fan:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.results = []
+
+                def work(self, item):
+                    with self._lock:
+                        self.results.append(item)
+
+                def run(self, items):
+                    with ThreadPoolExecutor(max_workers=4) as pool:
+                        for item in items:
+                            pool.submit(self.work, item)
+            """}, select=["CONC002"])
+        assert not report.findings
+
+    def test_lock_order_cycle_flagged(self, tmp_path):
+        """The acceptance scenario: two methods acquiring the same
+        pair of locks in opposite orders is a deliberate deadlock."""
+        report = lint(tmp_path,
+                      {"src/repro/core/x.py": CONC_LOCK_CYCLE},
+                      select=["CONC003"])
+        assert "CONC003" in rule_ids(report)
+        assert "lock-order cycle" in report.findings[0].message
+
+    def test_cross_file_lock_order_cycle_flagged(self, tmp_path):
+        """The acquisition graph is global: a cycle spanning two
+        classes in two files is still found."""
+        report = lint(tmp_path, {
+            "src/repro/core/a.py": """
+                import threading
+
+                first = threading.Lock()
+                second = threading.Lock()
+
+
+                def forward():
+                    with first:
+                        with second:
+                            pass
+                """,
+            "src/repro/core/b.py": """
+                from repro.core.a import first, second
+
+
+                def backward():
+                    with second:
+                        with first:
+                            pass
+                """}, select=["CONC003"])
+        assert "CONC003" in rule_ids(report)
+
+    def test_consistent_lock_order_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/core/x.py": """
+            import threading
+
+
+            class Pipeline:
+                def __init__(self):
+                    self._head = threading.Lock()
+                    self._tail = threading.Lock()
+
+                def forward(self):
+                    with self._head:
+                        with self._tail:
+                            pass
+
+                def also_forward(self):
+                    with self._head:
+                        with self._tail:
+                            pass
+            """}, select=["CONC003"])
+        assert not report.findings
+
+    def test_threading_in_sim_module_flagged(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/sim/x.py":
+                                 "import threading\n"
+                                 "lock = threading.Lock()\n"},
+                      select=["CONC004"])
+        assert "CONC004" in rule_ids(report)
+
+    def test_threading_outside_sim_clock_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/ps/x.py":
+                                 "import threading\n"
+                                 "lock = threading.Lock()\n"},
+                      select=["CONC004"])
+        assert not report.findings
+
+
+class TestImportMap:
+    def _imports(self, source, module=None, is_package=False):
+        return ImportMap.of(ast.parse(textwrap.dedent(source)),
+                            module=module, is_package=is_package)
+
+    def _qualify(self, imports, expr):
+        return imports.qualify(ast.parse(expr, mode="eval").body)
+
+    def test_relative_import_in_module(self):
+        imports = self._imports("from .cells import Cell\n",
+                                module="repro.shard.scheduler")
+        assert imports.aliases["Cell"] == "repro.shard.cells.Cell"
+
+    def test_relative_import_in_package_init(self):
+        """``from .cells import Cell`` inside ``repro/shard/__init__``
+        resolves against the package itself, not its parent."""
+        imports = self._imports("from .cells import Cell\n",
+                                module="repro.shard", is_package=True)
+        assert imports.aliases["Cell"] == "repro.shard.cells.Cell"
+
+    def test_two_level_relative_import(self):
+        imports = self._imports(
+            "from ..core.profiler import Profiler\n",
+            module="repro.shard.scheduler")
+        assert imports.aliases["Profiler"] == \
+            "repro.core.profiler.Profiler"
+
+    def test_relative_import_beyond_root_unmapped(self):
+        imports = self._imports("from ...nowhere import thing\n",
+                                module="repro.shard")
+        assert "thing" not in imports.aliases
+
+    def test_relative_import_without_module_unmapped(self):
+        imports = self._imports("from .cells import Cell\n")
+        assert "Cell" not in imports.aliases
+
+    def test_dotted_import_with_alias(self):
+        imports = self._imports("import concurrent.futures as cf\n")
+        assert self._qualify(imports, "cf.ThreadPoolExecutor") == \
+            "concurrent.futures.ThreadPoolExecutor"
+
+    def test_star_import_fallback(self):
+        imports = self._imports("from numpy import *\n")
+        assert self._qualify(imports, "array") == "numpy.array"
+
+    def test_star_fallback_skips_builtins(self):
+        imports = self._imports("from numpy import *\n")
+        assert self._qualify(imports, "print") == "print"
+
+    def test_two_star_imports_disable_fallback(self):
+        """With two star modules the origin is ambiguous — the bare
+        name stays bare rather than guessing."""
+        imports = self._imports("from numpy import *\n"
+                                "from math import *\n")
+        assert self._qualify(imports, "array") == "array"
+
+    def test_module_name_strips_src_and_init(self):
+        assert module_name("src/repro/shard/scheduler.py") == \
+            "repro.shard.scheduler"
+        assert module_name("src/repro/shard/__init__.py") == \
+            "repro.shard"
+
+
+class TestChangedOnly:
+    @staticmethod
+    def _git(cwd, *args):
+        subprocess.run(
+            ["git", "-c", "user.email=lint@test",
+             "-c", "user.name=lint", *args],
+            cwd=cwd, check=True, capture_output=True)
+
+    @pytest.fixture
+    def repo(self, tmp_path):
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "old.py").write_text(
+            "import time\nt = time.time()\n")
+        (tmp_path / "src" / "fresh.py").write_text("x = 1\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_only_changed_files_reported(self, repo, capsys):
+        """A pre-existing finding in an untouched file stays out of a
+        --changed-only run; one in the edited file is reported."""
+        (repo / "src" / "fresh.py").write_text(
+            "import time\nt = time.time()\n")
+        code = lint_main(["--root", str(repo), "--changed-only",
+                          "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        paths = {f["path"] for f in payload["findings"]}
+        assert code == 1
+        assert paths == {"src/fresh.py"}
+
+    def test_no_changes_exits_zero(self, repo, capsys):
+        assert lint_main(["--root", str(repo), "--changed-only",
+                          "--no-baseline"]) == 0
+
+    def test_unknown_base_exits_two(self, repo, capsys):
+        assert lint_main(["--root", str(repo), "--changed-only",
+                          "--base", "no-such-ref"]) == 2
+
+    def test_outside_git_exits_two(self, tmp_path, capsys):
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text("x = 1\n")
+        assert lint_main(["--root", str(tmp_path),
+                          "--changed-only"]) == 2
+
+
+class TestSarifExport:
+    def test_sarif_document_structure(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text(
+            "import time\nt = time.time()\n")
+        code = lint_main(["--root", str(tmp_path), "--format", "sarif",
+                          "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "harmonylint"
+        result = run["results"][0]
+        assert result["ruleId"] == "DET001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/x.py"
+        assert location["region"]["startLine"] == 2
+        assert any(rule["id"] == "DET001"
+                   for rule in run["tool"]["driver"]["rules"])
+
+    def test_sarif_excludes_suppressed(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "x.py").write_text(
+            "import time\n"
+            "t = time.time()  # harmony: allow[DET001] fixture\n")
+        code = lint_main(["--root", str(tmp_path), "--format", "sarif",
+                          "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        run = payload["runs"][0]
+        assert run["results"] == []
+        assert run["properties"]["suppressed"] == 1
